@@ -1,0 +1,69 @@
+"""Abstraction-tool cost: processing time per step and versus circuit size.
+
+The paper reports that "the abstraction tool spent 7.67 s to process the most
+complex model, i.e. RC20, which features 22 nodes and 41 branches" and gives
+per-step asymptotic complexities (Section IV).  These benchmarks measure the
+processing time of each pipeline step for the paper's components and sweep
+the RC-ladder order to expose the growth trend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import benchmark_by_name, build_rc_filter
+from repro.core import AbstractionFlow, acquire, enrich
+from repro.core.assemble import Assembler
+from repro.core.codegen import generate_all
+from repro.experiments.common import PAPER_TIMESTEP
+
+COMPONENTS = ("2IN", "RC1", "RC20", "OA")
+LADDER_ORDERS = (1, 4, 8, 16, 20, 32)
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_full_abstraction(benchmark, component):
+    """Total tool time per benchmark component (paper: 7.67 s for RC20)."""
+    bench = benchmark_by_name(component)
+    flow = AbstractionFlow(PAPER_TIMESTEP)
+
+    report = benchmark(lambda: flow.abstract(bench.circuit(), bench.output))
+    benchmark.extra_info["component"] = component
+    benchmark.extra_info["nodes"] = report.acquisition.node_count
+    benchmark.extra_info["branches"] = report.acquisition.branch_count
+    assert report.model.outputs == [bench.output_quantity]
+
+
+@pytest.mark.parametrize("order", LADDER_ORDERS)
+def test_ladder_sweep(benchmark, order):
+    """Tool time versus circuit size (the RCn sweep 'figure')."""
+    circuit = build_rc_filter(order)
+    flow = AbstractionFlow(PAPER_TIMESTEP)
+    report = benchmark(lambda: flow.abstract(build_rc_filter(order), "out"))
+    benchmark.extra_info["order"] = order
+    benchmark.extra_info["nodes"] = report.acquisition.node_count
+    benchmark.extra_info["branches"] = report.acquisition.branch_count
+    assert report.assembled.cone_size >= order
+
+
+@pytest.mark.parametrize("step", ["acquisition", "enrichment", "assemble"])
+def test_individual_steps_rc20(benchmark, step):
+    """Per-step cost on RC20 (matches the per-step complexities of Section IV)."""
+    circuit = build_rc_filter(20)
+    acquisition = acquire(circuit)
+    if step == "acquisition":
+        benchmark(lambda: acquire(build_rc_filter(20)))
+    elif step == "enrichment":
+        benchmark(lambda: enrich(acquisition, PAPER_TIMESTEP))
+    else:
+        enrichment = enrich(acquisition, PAPER_TIMESTEP)
+        benchmark(lambda: Assembler(enrichment).assemble(["V(out)"]))
+    benchmark.extra_info["step"] = step
+
+
+def test_code_generation_all_backends(benchmark):
+    """Step 4 cost: emitting all four backends for the largest model."""
+    flow = AbstractionFlow(PAPER_TIMESTEP)
+    model = flow.abstract(build_rc_filter(20), "out").model
+    artefacts = benchmark(lambda: generate_all(model))
+    assert set(artefacts) == {"cpp", "python", "systemc_de", "systemc_tdf"}

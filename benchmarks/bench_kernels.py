@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the simulation substrates (ablation support).
+
+These are not paper tables; they quantify where the time goes in each engine
+(the per-step cost of the DE kernel, the TDF cluster, the ELN solve, the
+reference engine's device evaluation, and the generated step function), which
+is the data behind the DESIGN.md discussion of why the ordering of Tables I-III
+comes out the way it does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build_rc_filter
+from repro.core import abstract_circuit
+from repro.core.codegen import compile_model
+from repro.experiments.common import PAPER_TIMESTEP
+from repro.sim import ElnModel, Kernel, PeriodicTicker, ReferenceAmsSimulator, SquareWave
+
+STEPS = 20_000
+
+
+@pytest.fixture(scope="module")
+def compiled_rc20():
+    return compile_model(abstract_circuit(build_rc_filter(20), "out", PAPER_TIMESTEP))
+
+
+def test_generated_step_function(benchmark, compiled_rc20):
+    """Cost of the bare generated model (the 'C++' inner loop)."""
+    instance = compiled_rc20()
+
+    def run():
+        step = instance.step
+        for _ in range(STEPS):
+            step(1.0)
+
+    benchmark(run)
+
+
+def test_eln_step(benchmark):
+    """Cost of the per-step conservative solution (ELN)."""
+    model = ElnModel(build_rc_filter(20), PAPER_TIMESTEP)
+
+    def run():
+        for _ in range(STEPS // 10):
+            model.step({"vin": 1.0})
+
+    benchmark(run)
+
+
+def test_reference_step(benchmark):
+    """Cost of the reference engine's evaluate-and-solve step (Verilog-AMS)."""
+    simulator = ReferenceAmsSimulator(build_rc_filter(20), PAPER_TIMESTEP)
+
+    def run():
+        for _ in range(STEPS // 100):
+            simulator.step({"vin": 1.0})
+
+    benchmark(run)
+
+
+def test_de_kernel_event_throughput(benchmark):
+    """Raw event-processing throughput of the discrete-event kernel."""
+
+    def run():
+        kernel = Kernel()
+        counter = {"ticks": 0}
+        PeriodicTicker(
+            kernel, "tick", PAPER_TIMESTEP, lambda now: counter.__setitem__("ticks", counter["ticks"] + 1)
+        )
+        kernel.run(STEPS * PAPER_TIMESTEP)
+        return counter["ticks"]
+
+    ticks = benchmark(run)
+    assert ticks == STEPS
+
+
+def test_square_wave_source(benchmark):
+    """Cost of evaluating the stimulus waveform (shared by every engine)."""
+    wave = SquareWave(period=1e-3)
+
+    def run():
+        total = 0.0
+        for index in range(STEPS):
+            total += wave(index * PAPER_TIMESTEP)
+        return total
+
+    benchmark(run)

@@ -1,0 +1,140 @@
+"""Table I — models in isolation: Verilog-AMS vs ELN / TDF / DE / C++.
+
+Each benchmark measures the wall-clock simulation time of one target language
+for one component, exactly one row of the paper's Table I.  The recorded
+``extra_info`` carries the NRMSE against the Verilog-AMS reference and the
+speed-up, so the full table can be reassembled from the pytest-benchmark
+JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import compare_traces
+from repro.sim import (
+    run_de_model,
+    run_eln_model,
+    run_python_model,
+    run_reference_model,
+    run_tdf_model,
+)
+
+COMPONENTS = ("2IN", "RC1", "RC20", "OA")
+
+_REFERENCE_CACHE: dict[str, tuple] = {}
+
+
+def _reference(prepared, duration, timestep):
+    """Run (and cache) the Verilog-AMS reference for one component."""
+    key = prepared.name
+    if key not in _REFERENCE_CACHE:
+        import time
+
+        start = time.perf_counter()
+        traces = run_reference_model(
+            prepared.benchmark.circuit(),
+            prepared.benchmark.stimuli,
+            duration,
+            timestep,
+            [prepared.output],
+        )
+        _REFERENCE_CACHE[key] = (traces, time.perf_counter() - start)
+    return _REFERENCE_CACHE[key]
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_verilog_ams_reference(benchmark, prepared_models, table1_duration, timestep, component):
+    """Row: the original Verilog-AMS description (the accuracy/speed baseline)."""
+    prepared = prepared_models[component]
+    result = benchmark.pedantic(
+        lambda: run_reference_model(
+            prepared.benchmark.circuit(),
+            prepared.benchmark.stimuli,
+            table1_duration,
+            timestep,
+            [prepared.output],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["component"] = component
+    benchmark.extra_info["target"] = "Verilog-AMS"
+    benchmark.extra_info["nrmse"] = 0.0
+    assert len(result[prepared.output]) > 0
+
+
+def _run_target(benchmark, prepared, duration, timestep, label, runner):
+    reference_traces, reference_time = _reference(prepared, duration, timestep)
+    traces = benchmark.pedantic(runner, rounds=1, iterations=1)
+    error = compare_traces(reference_traces[prepared.output], traces[prepared.output])
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["component"] = prepared.name
+    benchmark.extra_info["target"] = label
+    benchmark.extra_info["nrmse"] = error
+    benchmark.extra_info["speedup_vs_vams"] = reference_time / elapsed if elapsed else float("inf")
+    # The abstracted models must stay faithful to the reference ("negligible
+    # degradation of the output values of interest").
+    assert error < 5e-2
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_sc_ams_eln(benchmark, prepared_models, table1_duration, timestep, component):
+    """Row: manual SystemC-AMS/ELN model (conservative solver per step)."""
+    prepared = prepared_models[component]
+    _run_target(
+        benchmark,
+        prepared,
+        table1_duration,
+        timestep,
+        "SC-AMS/ELN",
+        lambda: run_eln_model(
+            prepared.benchmark.circuit(),
+            prepared.benchmark.stimuli,
+            table1_duration,
+            timestep,
+            [prepared.output],
+        ),
+    )
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_sc_ams_tdf(benchmark, prepared_models, table1_duration, timestep, component):
+    """Row: generated SystemC-AMS/TDF model."""
+    prepared = prepared_models[component]
+    _run_target(
+        benchmark,
+        prepared,
+        table1_duration,
+        timestep,
+        "SC-AMS/TDF",
+        lambda: run_tdf_model(prepared.model, prepared.benchmark.stimuli, table1_duration),
+    )
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_sc_de(benchmark, prepared_models, table1_duration, timestep, component):
+    """Row: generated SystemC-DE model."""
+    prepared = prepared_models[component]
+    _run_target(
+        benchmark,
+        prepared,
+        table1_duration,
+        timestep,
+        "SC-DE",
+        lambda: run_de_model(prepared.model, prepared.benchmark.stimuli, table1_duration),
+    )
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_cpp(benchmark, prepared_models, table1_duration, timestep, component):
+    """Row: generated plain C++ (executable Python) model — the fastest target."""
+    prepared = prepared_models[component]
+    _run_target(
+        benchmark,
+        prepared,
+        table1_duration,
+        timestep,
+        "C++",
+        lambda: run_python_model(prepared.model, prepared.benchmark.stimuli, table1_duration),
+    )

@@ -1,0 +1,72 @@
+"""Table III — the analog models integrated in the complete virtual platform.
+
+The digital side (MIPS CPU + RAM + APB + UART running the threshold-monitor
+firmware) is identical in every run; only the analog integration style
+changes.  The first style (Verilog-AMS co-simulation) is the baseline the
+speed-ups are measured against, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.table3 import build_platform
+
+COMPONENTS = ("2IN", "RC1", "RC20", "OA")
+
+#: (row label, style key) in the paper's order.
+STYLES = (
+    ("Verilog-AMS (cosim)", "cosim"),
+    ("SC-AMS/ELN", "eln"),
+    ("SC-AMS/TDF", "tdf"),
+    ("SC-DE", "de"),
+    ("C++", "python"),
+)
+
+_BASELINE_CACHE: dict[str, float] = {}
+
+
+def _cosim_time(prepared, duration) -> float:
+    if prepared.name not in _BASELINE_CACHE:
+        platform = build_platform(prepared, "cosim")
+        start = time.perf_counter()
+        platform.run(duration)
+        _BASELINE_CACHE[prepared.name] = time.perf_counter() - start
+    return _BASELINE_CACHE[prepared.name]
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+@pytest.mark.parametrize("label_style", STYLES, ids=[style for _, style in STYLES])
+def test_platform_integration(
+    benchmark, prepared_models, table3_duration, component, label_style
+):
+    """One row of Table III: one component x one analog integration style."""
+    label, style = label_style
+    prepared = prepared_models[component]
+    result_holder = {}
+
+    def run():
+        platform = build_platform(prepared, style)
+        result_holder["result"] = platform.run(table3_duration)
+        return result_holder["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = result_holder["result"]
+    elapsed = benchmark.stats.stats.mean
+    baseline = _cosim_time(prepared, table3_duration)
+
+    benchmark.extra_info["component"] = component
+    benchmark.extra_info["target"] = label
+    benchmark.extra_info["speedup_vs_cosim"] = baseline / elapsed if elapsed else float("inf")
+    benchmark.extra_info["instructions"] = result.instructions
+    benchmark.extra_info["analog_samples"] = result.analog_samples
+
+    # Sanity: the digital workload is identical regardless of the analog style.
+    assert result.instructions > 0
+    assert result.analog_samples > 0
+    if style == "python":
+        # Headline claim of the paper: the generated C++ integration is much
+        # faster than co-simulating the original Verilog-AMS model.
+        assert benchmark.extra_info["speedup_vs_cosim"] > 2.0

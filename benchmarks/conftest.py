@@ -1,0 +1,61 @@
+"""Shared fixtures and configuration for the benchmark harness.
+
+Every benchmark regenerates one row (or one row group) of the paper's tables.
+Simulated time is scaled down by default (see ``repro.experiments.common``);
+set ``REPRO_SIM_TIME_SCALE=1`` before running to reproduce the paper-size
+workloads.  Benchmarks are configured for a single measurement round because
+each measurement already simulates thousands of analog timesteps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    PAPER_TABLE1_SIMULATED_TIME,
+    PAPER_TABLE2_SIMULATED_TIME,
+    PAPER_TABLE3_SIMULATED_TIME,
+    PAPER_TIMESTEP,
+    prepare_benchmarks,
+    scaled_duration,
+)
+
+#: Component names in the paper's row order.
+COMPONENTS = ("2IN", "RC1", "RC20", "OA")
+
+
+def pytest_collection_modifyitems(items):
+    """Keep table order stable: table1 rows, table2, table3, then studies."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def prepared_models():
+    """Abstract the four benchmark circuits once for the whole session."""
+    return {prepared.name: prepared for prepared in prepare_benchmarks()}
+
+
+@pytest.fixture(scope="session")
+def table1_duration() -> float:
+    return scaled_duration(PAPER_TABLE1_SIMULATED_TIME)
+
+
+@pytest.fixture(scope="session")
+def table2_duration() -> float:
+    # Table II uses a 10 s simulated time in the paper; even scaled by the
+    # default factor that is millions of analog steps, so the benchmark suite
+    # divides it by a further 10 to stay in the tens-of-seconds range.  The
+    # speed-up ratios it reports are unaffected by the absolute duration.
+    return scaled_duration(PAPER_TABLE2_SIMULATED_TIME) / 10.0
+
+
+@pytest.fixture(scope="session")
+def table3_duration() -> float:
+    # The platform simulates both the CPU and the analog device, so the
+    # default scale is reduced further to keep the whole suite quick.
+    return scaled_duration(PAPER_TABLE3_SIMULATED_TIME, minimum_steps=1000) / 4.0
+
+
+@pytest.fixture(scope="session")
+def timestep() -> float:
+    return PAPER_TIMESTEP

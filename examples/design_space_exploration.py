@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how the integration style scales with circuit size.
+
+Sweeps the RC-ladder order and, for each size, measures the simulation time of
+the conservative ELN model against the automatically abstracted model in each
+target (TDF, DE, plain code).  This is the engineering question behind the
+paper's Table II: when is it worth abstracting, and how does the advantage
+evolve as the analog block grows?
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuits import build_rc_filter
+from repro.core import AbstractionFlow
+from repro.sim import SquareWave, run_de_model, run_eln_model, run_python_model, run_tdf_model
+
+TIMESTEP = 50e-9
+SIMULATED_TIME = 0.5e-3
+ORDERS = (1, 2, 4, 8, 16)
+
+
+def measure(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    stimuli = {"vin": SquareWave(period=1e-3)}
+    flow = AbstractionFlow(TIMESTEP)
+
+    header = (
+        f"{'order':>5s} {'abstraction (ms)':>17s} {'ELN (s)':>9s} {'TDF (s)':>9s} "
+        f"{'DE (s)':>9s} {'code (s)':>9s} {'code vs ELN':>12s}"
+    )
+    print("RC-ladder design-space exploration "
+          f"(dt = {TIMESTEP * 1e9:.0f} ns, {SIMULATED_TIME * 1e3:.1f} ms simulated)")
+    print(header)
+    print("-" * len(header))
+
+    for order in ORDERS:
+        circuit = build_rc_filter(order)
+        start = time.perf_counter()
+        report = flow.abstract(circuit, "out", name=f"rc{order}")
+        abstraction_ms = (time.perf_counter() - start) * 1e3
+        model = report.model
+
+        eln_time = measure(
+            lambda: run_eln_model(build_rc_filter(order), stimuli, SIMULATED_TIME, TIMESTEP, ["V(out)"])
+        )
+        tdf_time = measure(lambda: run_tdf_model(model, stimuli, SIMULATED_TIME))
+        de_time = measure(lambda: run_de_model(model, stimuli, SIMULATED_TIME))
+        code_time = measure(lambda: run_python_model(model, stimuli, SIMULATED_TIME))
+
+        print(
+            f"{order:5d} {abstraction_ms:17.1f} {eln_time:9.3f} {tdf_time:9.3f} "
+            f"{de_time:9.3f} {code_time:9.3f} {eln_time / code_time:11.1f}x"
+        )
+
+    print()
+    print("The abstraction pays for itself after a fraction of a millisecond of")
+    print("simulated time on the small front-ends; for the larger ladders the")
+    print("advantage narrows because the conservative solver amortises its cost")
+    print("over vectorised linear algebra while the flat generated code grows")
+    print("with the square of the retained state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""The benchmark suite: the four circuits of the paper's evaluation.
+
+Each :class:`BenchmarkCircuit` bundles everything the experiments need: the
+Verilog-AMS source, the programmatic netlist, the output of interest, and the
+stimuli used to drive the inputs (the paper's square-wave generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..network.circuit import Circuit
+from ..sim.sources import SquareWave
+from .opamp import build_opamp, opamp_source
+from .rc_filter import build_rc_filter, rc_filter_source
+from .two_input import build_two_input, two_input_source
+
+
+@dataclass
+class BenchmarkCircuit:
+    """One benchmark component of the paper's evaluation (Section V.A)."""
+
+    name: str
+    description: str
+    vams_source: str
+    build: Callable[[], Circuit]
+    output: str
+    stimuli: dict[str, Callable[[float], float]] = field(default_factory=dict)
+
+    def circuit(self) -> Circuit:
+        """Build a fresh netlist instance."""
+        return self.build()
+
+    @property
+    def output_quantity(self) -> str:
+        """Canonical name of the observed output quantity."""
+        return self.output if self.output.startswith(("V(", "I(")) else f"V({self.output})"
+
+
+def _square(amplitude: float = 1.0, period: float = 1e-3, duty: float = 0.5) -> SquareWave:
+    return SquareWave(amplitude=amplitude, period=period, duty=duty)
+
+
+def two_input_benchmark() -> BenchmarkCircuit:
+    """The 2IN summing amplifier driven by two square waves."""
+    return BenchmarkCircuit(
+        name="2IN",
+        description="two-input summing amplifier (Figure 8.a)",
+        vams_source=two_input_source(),
+        build=build_two_input,
+        output="out",
+        stimuli={
+            "in1": _square(amplitude=1.0, period=1e-3, duty=0.5),
+            "in2": _square(amplitude=0.5, period=1e-3, duty=0.3),
+        },
+    )
+
+
+def rc_benchmark(order: int) -> BenchmarkCircuit:
+    """The RCn cascade filter driven by the paper's square wave."""
+    return BenchmarkCircuit(
+        name=f"RC{order}",
+        description=f"{order}-order RC low-pass filter",
+        vams_source=rc_filter_source(order),
+        build=lambda: build_rc_filter(order),
+        output="out",
+        stimuli={"vin": _square()},
+    )
+
+
+def opamp_benchmark() -> BenchmarkCircuit:
+    """The OA operational-amplifier active filter driven by the square wave."""
+    return BenchmarkCircuit(
+        name="OA",
+        description="operational-amplifier active filter (Figure 8.b)",
+        vams_source=opamp_source(),
+        build=build_opamp,
+        output="out",
+        stimuli={"vin": _square()},
+    )
+
+
+def paper_benchmarks() -> list[BenchmarkCircuit]:
+    """The four components of Tables I-III, in the paper's row order."""
+    return [
+        two_input_benchmark(),
+        rc_benchmark(1),
+        rc_benchmark(20),
+        opamp_benchmark(),
+    ]
+
+
+def benchmark_by_name(name: str) -> BenchmarkCircuit:
+    """Look a benchmark up by its table name (``"2IN"``, ``"RC1"``, ``"RC20"``, ``"OA"``).
+
+    ``RC<n>`` is accepted for any positive ``n``.
+    """
+    upper = name.upper()
+    if upper == "2IN":
+        return two_input_benchmark()
+    if upper == "OA":
+        return opamp_benchmark()
+    if upper.startswith("RC"):
+        order = int(upper[2:])
+        return rc_benchmark(order)
+    raise KeyError(f"unknown benchmark circuit {name!r}")

@@ -1,0 +1,102 @@
+"""The OA benchmark: an operational-amplifier active filter (paper Figure 8.b).
+
+The operational amplifier is the classic three-element macromodel — input
+resistance ``Rin``, voltage-controlled gain stage and output resistance
+``Rout`` — wired as an inverting first-order active low-pass filter: the
+input resistor ``R1`` feeds the virtual-ground node and the feedback network
+is ``R2`` in parallel with ``C1``.  With the paper's values (R1 = 400 Ω,
+R2 = 1.6 kΩ, C1 = 40 nF, Rin = 1 MΩ, Rout = 20 Ω) the DC gain is −R2/R1 = −4
+and the cut-off frequency is ``1/(2π·R2·C1)`` ≈ 2.5 kHz.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..network.circuit import Circuit
+from ..network.components import VCVS
+
+#: Paper parameter values (Section V.A).
+DEFAULT_R1 = 400.0
+DEFAULT_R2 = 1.6e3
+DEFAULT_C1 = 40e-9
+DEFAULT_RIN = 1e6
+DEFAULT_ROUT = 20.0
+#: Open-loop gain of the amplifier stage.
+DEFAULT_GAIN = 1e5
+
+
+def opamp_source(
+    r1: float = DEFAULT_R1,
+    r2: float = DEFAULT_R2,
+    c1: float = DEFAULT_C1,
+    rin: float = DEFAULT_RIN,
+    rout: float = DEFAULT_ROUT,
+    gain: float = DEFAULT_GAIN,
+) -> str:
+    """Return the Verilog-AMS description of the active filter (Figure 2/8.b)."""
+    return f"""`include "disciplines.vams"
+
+// Operational-amplifier active filter (paper Figures 2 and 8.b, the OA benchmark).
+module opamp_filter(vin, out);
+  input vin;
+  output out;
+  electrical vin, out, inn, oa, gnd;
+  ground gnd;
+  parameter real R1 = {r1:g};
+  parameter real R2 = {r2:g};
+  parameter real C1 = {c1:g};
+  parameter real Rin = {rin:g};
+  parameter real Rout = {rout:g};
+  parameter real A = {gain:g};
+  branch (vin, inn) rb1;
+  branch (out, inn) rb2;
+  branch (out, inn) cb1;
+  branch (inn, gnd) rbin;
+  branch (oa, gnd) stage;
+  branch (oa, out) rbout;
+  analog begin
+    V(rb1) <+ R1 * I(rb1);
+    V(rb2) <+ R2 * I(rb2);
+    I(cb1) <+ C1 * ddt(V(cb1));
+    V(rbin) <+ Rin * I(rbin);
+    V(stage) <+ -A * V(inn, gnd);
+    V(rbout) <+ Rout * I(rbout);
+  end
+endmodule
+"""
+
+
+def build_opamp(
+    r1: float = DEFAULT_R1,
+    r2: float = DEFAULT_R2,
+    c1: float = DEFAULT_C1,
+    rin: float = DEFAULT_RIN,
+    rout: float = DEFAULT_ROUT,
+    gain: float = DEFAULT_GAIN,
+) -> Circuit:
+    """Build the OA netlist programmatically."""
+    circuit = Circuit("opamp_filter")
+    circuit.add_voltage_source("vin", "gnd", input_signal="vin", name="Vsrc_vin")
+    circuit.add_resistor("vin", "inn", r1, name="rb1")
+    circuit.add_resistor("out", "inn", r2, name="rb2")
+    circuit.add_capacitor("out", "inn", c1, name="cb1")
+    circuit.add_resistor("inn", "gnd", rin, name="rbin")
+    circuit.add(
+        VCVS(-gain, control_positive="inn", control_negative="gnd"),
+        "oa",
+        "gnd",
+        name="stage",
+    )
+    circuit.add_resistor("oa", "out", rout, name="rbout")
+    return circuit
+
+
+def dc_gain(r1: float = DEFAULT_R1, r2: float = DEFAULT_R2) -> float:
+    """Ideal low-frequency gain of the inverting active filter."""
+    return -r2 / r1
+
+
+def cutoff_frequency(r2: float = DEFAULT_R2, c1: float = DEFAULT_C1) -> float:
+    """-3 dB cut-off frequency of the filter in hertz."""
+    return 1.0 / (2.0 * math.pi * r2 * c1)

@@ -1,0 +1,85 @@
+"""The 2IN benchmark: a two-input summing amplifier (paper Figure 8.a).
+
+The circuit sums two input voltages through R1 = 3 kΩ and R2 = 14 kΩ into the
+virtual-ground node of an inverting amplifier whose feedback resistor is
+R3 = 10 kΩ.  The amplifier itself is an ideal high-gain voltage-controlled
+voltage source, so the circuit is a purely resistive conservative network:
+
+    V(out) ≈ -(R3/R1) * V(in1) - (R3/R2) * V(in2)
+"""
+
+from __future__ import annotations
+
+from ..network.circuit import Circuit
+from ..network.components import VCVS
+
+#: Paper parameter values (Section V.A).
+DEFAULT_R1 = 3e3
+DEFAULT_R2 = 14e3
+DEFAULT_R3 = 10e3
+#: Open-loop gain of the ideal amplifier stage.
+DEFAULT_GAIN = 1e5
+
+
+def two_input_source(
+    r1: float = DEFAULT_R1,
+    r2: float = DEFAULT_R2,
+    r3: float = DEFAULT_R3,
+    gain: float = DEFAULT_GAIN,
+) -> str:
+    """Return the Verilog-AMS description of the two-input summing amplifier."""
+    return f"""`include "disciplines.vams"
+
+// Two-input summing amplifier (paper Figure 8.a, the 2IN benchmark).
+module two_input(in1, in2, out);
+  input in1, in2;
+  output out;
+  electrical in1, in2, out, sum, gnd;
+  ground gnd;
+  parameter real R1 = {r1:g};
+  parameter real R2 = {r2:g};
+  parameter real R3 = {r3:g};
+  parameter real A = {gain:g};
+  branch (in1, sum) rb1;
+  branch (in2, sum) rb2;
+  branch (sum, out) rb3;
+  branch (out, gnd) amp;
+  analog begin
+    V(rb1) <+ R1 * I(rb1);
+    V(rb2) <+ R2 * I(rb2);
+    V(rb3) <+ R3 * I(rb3);
+    V(amp) <+ -A * V(sum, gnd);
+  end
+endmodule
+"""
+
+
+def build_two_input(
+    r1: float = DEFAULT_R1,
+    r2: float = DEFAULT_R2,
+    r3: float = DEFAULT_R3,
+    gain: float = DEFAULT_GAIN,
+) -> Circuit:
+    """Build the 2IN netlist programmatically."""
+    circuit = Circuit("two_input")
+    circuit.add_voltage_source("in1", "gnd", input_signal="in1", name="Vsrc_in1")
+    circuit.add_voltage_source("in2", "gnd", input_signal="in2", name="Vsrc_in2")
+    circuit.add_resistor("in1", "sum", r1, name="rb1")
+    circuit.add_resistor("in2", "sum", r2, name="rb2")
+    circuit.add_resistor("sum", "out", r3, name="rb3")
+    circuit.add(
+        VCVS(-gain, control_positive="sum", control_negative="gnd"),
+        "out",
+        "gnd",
+        name="amp",
+    )
+    return circuit
+
+
+def ideal_gains(
+    r1: float = DEFAULT_R1,
+    r2: float = DEFAULT_R2,
+    r3: float = DEFAULT_R3,
+) -> tuple[float, float]:
+    """Return the ideal (infinite-gain) DC gains from (in1, in2) to the output."""
+    return (-r3 / r1, -r3 / r2)

@@ -1,0 +1,45 @@
+"""Core abstraction methodology (the paper's primary contribution).
+
+The subpackage implements the four-step flow of Section IV — acquisition,
+enrichment, assemble and the linear solve — the direct conversion of
+signal-flow descriptions (Section III.A), the numeric state-space cross-check
+and the code generators (Section IV.D).
+"""
+
+from .acquisition import AcquisitionResult, acquire
+from .assemble import AssembledModel, Assembler, normalise_output
+from .enrichment import EnrichmentResult, enrich, is_unknown
+from .flow import AbstractionFlow, AbstractionReport, abstract_circuit
+from .linsolve import to_signal_flow
+from .signalflow import (
+    TIME_VARIABLE,
+    Assignment,
+    SignalFlowModel,
+    SignalFlowTrace,
+    convert_signal_flow,
+)
+from .statespace import abstract_state_space
+from .table import EquationTable, TableEntry
+
+__all__ = [
+    "AbstractionFlow",
+    "AbstractionReport",
+    "AcquisitionResult",
+    "AssembledModel",
+    "Assembler",
+    "Assignment",
+    "EnrichmentResult",
+    "EquationTable",
+    "SignalFlowModel",
+    "SignalFlowTrace",
+    "TIME_VARIABLE",
+    "TableEntry",
+    "abstract_circuit",
+    "abstract_state_space",
+    "acquire",
+    "convert_signal_flow",
+    "enrich",
+    "is_unknown",
+    "normalise_output",
+    "to_signal_flow",
+]

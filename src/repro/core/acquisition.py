@@ -1,0 +1,116 @@
+"""Step 1 — Acquisition (paper Section IV.A).
+
+The acquisition step takes the conservative description — either a typed
+:class:`~repro.network.circuit.Circuit`, a parsed Verilog-AMS module, or raw
+Verilog-AMS source text — parses the right-hand side of every dipole equation
+into an AST, stores the equations in the multimap, and retrieves the topology
+graph ``G = (N, B)`` of the electrical network.  Its cost is linear in the
+number of dipole equations, O(|B|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AcquisitionError
+from ..expr.equation import Equation
+from ..network.circuit import Circuit
+from ..network.graph import CircuitGraph
+from ..vams.ast import VamsModule
+from ..vams.classify import classify_module
+from ..vams.netlist import to_circuit
+from ..vams.parser import parse_module
+from .table import EquationTable
+
+
+@dataclass
+class AcquisitionResult:
+    """Output of the acquisition step.
+
+    Attributes
+    ----------
+    circuit:
+        The typed netlist of the conservative description.
+    graph:
+        The topology graph ``G = (N, B)``.
+    table:
+        The equation multimap populated with the dipole equations.
+    dipole_equations:
+        The dipole equations, in branch declaration order.
+    inputs:
+        Names of the external stimuli ``U`` driving the network.
+    """
+
+    circuit: Circuit
+    graph: CircuitGraph
+    table: EquationTable
+    dipole_equations: list[Equation]
+    inputs: list[str]
+
+    @property
+    def node_count(self) -> int:
+        """``|N|``, the number of circuit nodes (including ground)."""
+        return self.graph.node_count
+
+    @property
+    def branch_count(self) -> int:
+        """``|B|``, the number of circuit branches."""
+        return self.graph.branch_count
+
+
+def _coerce_circuit(model: "Circuit | VamsModule | str") -> Circuit:
+    if isinstance(model, Circuit):
+        return model
+    if isinstance(model, VamsModule):
+        classification = classify_module(model)
+        if not classification.is_conservative:
+            raise AcquisitionError(
+                f"module {model.name!r} is a signal-flow description; the "
+                "abstraction methodology applies to conservative models "
+                "(use repro.core.signalflow for direct conversion)"
+            )
+        return to_circuit(model)
+    if isinstance(model, str):
+        return _coerce_circuit(parse_module(model))
+    raise AcquisitionError(
+        f"cannot acquire a model of type {type(model).__name__}; expected a "
+        "Circuit, a parsed VamsModule or Verilog-AMS source text"
+    )
+
+
+def acquire(model: "Circuit | VamsModule | str") -> AcquisitionResult:
+    """Run the acquisition step on ``model``.
+
+    Parameters
+    ----------
+    model:
+        A typed circuit, a parsed Verilog-AMS module, or Verilog-AMS source.
+
+    Returns
+    -------
+    AcquisitionResult
+        The populated equation table and topology graph.
+
+    Raises
+    ------
+    AcquisitionError
+        When the model cannot be interpreted as a conservative description.
+    """
+    circuit = _coerce_circuit(model)
+    try:
+        circuit.validate()
+    except Exception as exc:
+        raise AcquisitionError(f"invalid circuit topology: {exc}") from exc
+
+    table = EquationTable()
+    dipole_equations = circuit.dipole_equations()
+    for equation in dipole_equations:
+        table.insert(equation)
+    graph = CircuitGraph(circuit)
+    return AcquisitionResult(
+        circuit=circuit,
+        graph=graph,
+        table=table,
+        dipole_equations=dipole_equations,
+        inputs=circuit.input_names(),
+    )

@@ -1,0 +1,67 @@
+"""Code generators for signal-flow models (paper Section IV.D).
+
+Available backends, selected by name through :func:`get_generator`:
+
+============  ====================  ==========================================
+name          target language        role in the paper's evaluation
+============  ====================  ==========================================
+``cpp``        plain C++             fastest integration target (Table I-III)
+``python``     executable Python     the runnable equivalent of the C++ target
+``systemc_de`` SystemC (DE)          discrete-event integration, no AMS layer
+``systemc_tdf`` SystemC-AMS/TDF      signal-flow model inside the AMS framework
+============  ====================  ==========================================
+"""
+
+from ...errors import CodeGenerationError
+from .base import CodeGenerator, ExpressionRenderer, GeneratedCode, class_name, mangle
+from .cpp import CppGenerator
+from .python_backend import PythonGenerator, compile_generated, compile_model
+from .systemc_de import SystemCDeGenerator
+from .systemc_tdf import SystemCTdfGenerator
+
+#: Registry of available backends.
+GENERATORS: dict[str, type[CodeGenerator]] = {
+    CppGenerator.name: CppGenerator,
+    PythonGenerator.name: PythonGenerator,
+    SystemCDeGenerator.name: SystemCDeGenerator,
+    SystemCTdfGenerator.name: SystemCTdfGenerator,
+}
+
+
+def get_generator(name: str) -> CodeGenerator:
+    """Instantiate the backend called ``name``.
+
+    Raises
+    ------
+    CodeGenerationError
+        When no backend with that name exists.
+    """
+    try:
+        return GENERATORS[name]()
+    except KeyError as exc:
+        raise CodeGenerationError(
+            f"unknown code generator {name!r}; available: {sorted(GENERATORS)}"
+        ) from exc
+
+
+def generate_all(model) -> dict[str, GeneratedCode]:
+    """Run every backend on ``model`` and return the artefacts keyed by backend name."""
+    return {name: get_generator(name).generate(model) for name in GENERATORS}
+
+
+__all__ = [
+    "CodeGenerator",
+    "CppGenerator",
+    "ExpressionRenderer",
+    "GENERATORS",
+    "GeneratedCode",
+    "PythonGenerator",
+    "SystemCDeGenerator",
+    "SystemCTdfGenerator",
+    "class_name",
+    "compile_generated",
+    "compile_model",
+    "generate_all",
+    "get_generator",
+    "mangle",
+]

@@ -1,0 +1,83 @@
+"""Abstraction-tool cost study (paper Section IV complexity claims and Section V.A).
+
+The paper quotes per-step worst-case complexities — O(|B|) for acquisition,
+O(|N|²)+O(|N|³)+O(|B|²) for enrichment, linear assemble, O(|N|³) for the
+linear solution, O(|B|+|N|) for code generation, O(|N|³·|B|²) overall — and
+reports a single measured figure: 7.67 s to process RC20 (22 nodes, 41
+branches).  This experiment sweeps the RC-ladder order and records the time
+spent in every step, so both the absolute figure and the growth trend can be
+compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.rc_filter import build_rc_filter
+from ..core.codegen import generate_all
+from ..core.flow import AbstractionFlow
+from ..metrics.timing import measure
+from .common import PAPER_TIMESTEP
+
+
+@dataclass
+class AbstractionCostSample:
+    """Cost measurements for one RC-ladder order."""
+
+    order: int
+    nodes: int
+    branches: int
+    timings: dict[str, float] = field(default_factory=dict)
+    codegen_time: float = 0.0
+    cone_size: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values()) + self.codegen_time
+
+
+def measure_order(order: int, timestep: float = PAPER_TIMESTEP) -> AbstractionCostSample:
+    """Abstract one RCn instance and measure every step, including code generation."""
+    circuit = build_rc_filter(order)
+    flow = AbstractionFlow(timestep)
+    report = flow.abstract(circuit, "out", name=f"rc{order}")
+    _, codegen_time = measure(lambda: generate_all(report.model))
+    assert report.acquisition is not None and report.assembled is not None
+    return AbstractionCostSample(
+        order=order,
+        nodes=report.acquisition.node_count,
+        branches=report.acquisition.branch_count,
+        timings=dict(report.timings),
+        codegen_time=codegen_time,
+        cone_size=report.assembled.cone_size,
+    )
+
+
+def run_sweep(
+    orders: list[int] | None = None,
+    timestep: float = PAPER_TIMESTEP,
+) -> list[AbstractionCostSample]:
+    """Sweep the RC-ladder order (default 1..32 in octave steps)."""
+    orders = orders or [1, 2, 4, 8, 16, 20, 32]
+    return [measure_order(order, timestep) for order in orders]
+
+
+def format_sweep(samples: list[AbstractionCostSample]) -> str:
+    """Render the sweep as a text table (the abstraction-cost 'figure')."""
+    header = (
+        f"{'order':>6s} {'|N|':>5s} {'|B|':>5s} {'acq (ms)':>9s} {'enrich (ms)':>12s} "
+        f"{'assemble (ms)':>14s} {'solve (ms)':>11s} {'codegen (ms)':>13s} {'total (ms)':>11s}"
+    )
+    lines = ["Abstraction-tool processing time versus circuit size (RC ladder)", header]
+    for sample in samples:
+        timings = sample.timings
+        lines.append(
+            f"{sample.order:6d} {sample.nodes:5d} {sample.branches:5d} "
+            f"{timings.get('acquisition', 0.0) * 1e3:9.2f} "
+            f"{timings.get('enrichment', 0.0) * 1e3:12.2f} "
+            f"{timings.get('assemble', 0.0) * 1e3:14.2f} "
+            f"{timings.get('solve', 0.0) * 1e3:11.2f} "
+            f"{sample.codegen_time * 1e3:13.2f} "
+            f"{sample.total_time * 1e3:11.2f}"
+        )
+    return "\n".join(lines)

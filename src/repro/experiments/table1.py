@@ -1,0 +1,106 @@
+"""Table I — simulation performance and accuracy of the models in isolation.
+
+For every benchmark component (2IN, RC1, RC20, OA) the paper compares the
+original Verilog-AMS model against the manual SystemC-AMS/ELN model and the
+automatically generated SystemC-AMS/TDF, SystemC-DE and C++ models, reporting
+simulation time, NRMSE against Verilog-AMS and speed-up over Verilog-AMS.
+"""
+
+from __future__ import annotations
+
+from ..metrics.nrmse import compare_traces
+from ..metrics.timing import measure
+from ..sim.runners import (
+    run_de_model,
+    run_eln_model,
+    run_python_model,
+    run_reference_model,
+    run_tdf_model,
+)
+from .common import (
+    PAPER_TABLE1_SIMULATED_TIME,
+    PAPER_TIMESTEP,
+    ExperimentRow,
+    ExperimentTable,
+    PreparedBenchmark,
+    prepare_benchmarks,
+    scaled_duration,
+)
+
+
+def run_component(
+    prepared: PreparedBenchmark,
+    duration: float,
+    timestep: float = PAPER_TIMESTEP,
+    include_reference: bool = True,
+) -> list[ExperimentRow]:
+    """Run every target of Table I for one component and return its rows."""
+    benchmark = prepared.benchmark
+    model = prepared.model
+    output = prepared.output
+    stimuli = benchmark.stimuli
+    rows: list[ExperimentRow] = []
+
+    reference_traces = None
+    reference_time = None
+    if include_reference:
+        reference_traces, reference_time = measure(
+            lambda: run_reference_model(
+                benchmark.circuit(), stimuli, duration, timestep, [output]
+            )
+        )
+        rows.append(
+            ExperimentRow(
+                component=benchmark.name,
+                target="Verilog-AMS",
+                generation="manual",
+                simulation_time=reference_time,
+                error=0.0,
+                speedup=1.0,
+            )
+        )
+
+    def evaluate(label: str, generation: str, runner) -> None:
+        traces, elapsed = measure(runner)
+        error = None
+        speedup = None
+        if reference_traces is not None:
+            error = compare_traces(reference_traces[output], traces[output])
+            speedup = reference_time / elapsed if elapsed > 0 else float("inf")
+        rows.append(
+            ExperimentRow(
+                component=benchmark.name,
+                target=label,
+                generation=generation,
+                simulation_time=elapsed,
+                error=error,
+                speedup=speedup,
+            )
+        )
+
+    evaluate(
+        "SC-AMS/ELN",
+        "manual",
+        lambda: run_eln_model(benchmark.circuit(), stimuli, duration, timestep, [output]),
+    )
+    evaluate("SC-AMS/TDF", "algo", lambda: run_tdf_model(model, stimuli, duration))
+    evaluate("SC-DE", "algo", lambda: run_de_model(model, stimuli, duration))
+    evaluate("C++", "algo", lambda: run_python_model(model, stimuli, duration))
+    return rows
+
+
+def run_table1(
+    components: list[str] | None = None,
+    duration: float | None = None,
+    timestep: float = PAPER_TIMESTEP,
+    include_reference: bool = True,
+) -> ExperimentTable:
+    """Reproduce Table I (optionally restricted to some components)."""
+    duration = duration if duration is not None else scaled_duration(PAPER_TABLE1_SIMULATED_TIME)
+    table = ExperimentTable(
+        "Table I - simulation performance and accuracy for the abstracted models in isolation"
+    )
+    for prepared in prepare_benchmarks(components, timestep):
+        for row in run_component(prepared, duration, timestep, include_reference):
+            table.add(row)
+    return table

@@ -1,0 +1,109 @@
+"""Table III — the abstracted models integrated in the complete virtual platform.
+
+The digital part is a MIPS CPU executing firmware from memory, a UART and the
+APB bus; one analog device is attached per run.  The paper compares the
+Verilog-AMS co-simulation (two variants in the original table — here a single
+co-simulation configuration) against the SystemC-AMS/ELN, SystemC-AMS/TDF,
+SystemC-DE and pure C++ integrations, reporting platform simulation time and
+speed-up over co-simulation.
+"""
+
+from __future__ import annotations
+
+from ..metrics.timing import measure
+from ..vp.platform import PlatformRunResult, SmartSystemPlatform
+from .common import (
+    PAPER_TABLE3_SIMULATED_TIME,
+    PAPER_TIMESTEP,
+    ExperimentRow,
+    ExperimentTable,
+    PreparedBenchmark,
+    prepare_benchmarks,
+    scaled_duration,
+)
+
+#: Analog integration styles of Table III, in the paper's row order.
+TABLE3_TARGETS = (
+    ("Verilog-AMS (cosim)", "manual", "cosim"),
+    ("SC-AMS/ELN", "manual", "eln"),
+    ("SC-AMS/TDF", "algo", "tdf"),
+    ("SC-DE", "algo", "de"),
+    ("C++", "algo", "python"),
+)
+
+
+def build_platform(
+    prepared: PreparedBenchmark,
+    style: str,
+    cpu_clock_hz: float = 20e6,
+    timestep: float = PAPER_TIMESTEP,
+) -> SmartSystemPlatform:
+    """Build a platform instance with the requested analog integration style."""
+    benchmark = prepared.benchmark
+    platform = SmartSystemPlatform(cpu_clock_hz=cpu_clock_hz, analog_timestep=timestep)
+    if style == "python":
+        platform.attach_analog_python(prepared.model, benchmark.stimuli)
+    elif style == "de":
+        platform.attach_analog_de(prepared.model, benchmark.stimuli)
+    elif style == "tdf":
+        platform.attach_analog_tdf(prepared.model, benchmark.stimuli)
+    elif style == "eln":
+        platform.attach_analog_eln(benchmark.circuit(), benchmark.stimuli, prepared.output)
+    elif style == "cosim":
+        platform.attach_analog_cosim(benchmark.circuit(), benchmark.stimuli, prepared.output)
+    else:
+        raise ValueError(f"unknown analog integration style {style!r}")
+    return platform
+
+
+def run_component(
+    prepared: PreparedBenchmark,
+    duration: float,
+    cpu_clock_hz: float = 20e6,
+    timestep: float = PAPER_TIMESTEP,
+    styles: tuple = TABLE3_TARGETS,
+) -> tuple[list[ExperimentRow], dict[str, PlatformRunResult]]:
+    """Run every platform configuration of Table III for one component."""
+    rows: list[ExperimentRow] = []
+    results: dict[str, PlatformRunResult] = {}
+    baseline_time: float | None = None
+
+    for label, generation, style in styles:
+        platform = build_platform(prepared, style, cpu_clock_hz, timestep)
+        result, elapsed = measure(lambda: platform.run(duration))
+        results[style] = result
+        if baseline_time is None:
+            baseline_time = elapsed
+        rows.append(
+            ExperimentRow(
+                component=prepared.name,
+                target=label,
+                generation=generation,
+                simulation_time=elapsed,
+                speedup=baseline_time / elapsed if elapsed > 0 else float("inf"),
+                extra={
+                    "instructions": float(result.instructions),
+                    "analog_samples": float(result.analog_samples),
+                },
+            )
+        )
+    return rows, results
+
+
+def run_table3(
+    components: list[str] | None = None,
+    duration: float | None = None,
+    cpu_clock_hz: float = 20e6,
+    timestep: float = PAPER_TIMESTEP,
+) -> ExperimentTable:
+    """Reproduce Table III (platform simulation, speed-up over co-simulation)."""
+    duration = duration if duration is not None else scaled_duration(PAPER_TABLE3_SIMULATED_TIME)
+    table = ExperimentTable(
+        "Table III - simulation performance for the abstracted models integrated "
+        "in the virtual platform"
+    )
+    for prepared in prepare_benchmarks(components, timestep):
+        rows, _ = run_component(prepared, duration, cpu_clock_hz, timestep)
+        for row in rows:
+            table.add(row)
+    return table

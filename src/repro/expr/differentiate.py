@@ -1,0 +1,157 @@
+"""Symbolic partial differentiation of expression trees.
+
+Differentiation with respect to a :class:`~repro.expr.ast.Variable` is used to
+extract linear coefficients (see :mod:`repro.expr.linear`) and to verify
+linearity of dipole equations during enrichment.
+"""
+
+from __future__ import annotations
+
+from ..errors import NonLinearExpressionError
+from .ast import (
+    BinaryOp,
+    Call,
+    Conditional,
+    Constant,
+    Derivative,
+    Expr,
+    Integral,
+    Previous,
+    UnaryOp,
+    Variable,
+)
+from .simplify import simplify
+
+
+def differentiate(expr: Expr, name: str) -> Expr:
+    """Return ``d expr / d name`` as a new expression.
+
+    Supports the arithmetic operators and the differentiable functions of the
+    Verilog-AMS analog subset.  ``ddt``/``idt`` operators are treated as
+    opaque with respect to instantaneous variables and raise
+    :class:`~repro.errors.NonLinearExpressionError` when their operand depends
+    on ``name`` — they must be discretised before coefficient extraction.
+    """
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, Constant) or isinstance(node, Previous):
+            return Constant(0.0)
+        if isinstance(node, Variable):
+            return Constant(1.0 if node.name == name else 0.0)
+        if isinstance(node, UnaryOp):
+            inner = visit(node.operand)
+            if node.op == "-":
+                return UnaryOp("-", inner)
+            if node.op == "+":
+                return inner
+            raise NonLinearExpressionError(
+                f"cannot differentiate logical operator {node.op!r}"
+            )
+        if isinstance(node, BinaryOp):
+            du = visit(node.lhs)
+            dv = visit(node.rhs)
+            u, v = node.lhs, node.rhs
+            if node.op == "+":
+                return BinaryOp("+", du, dv)
+            if node.op == "-":
+                return BinaryOp("-", du, dv)
+            if node.op == "*":
+                return BinaryOp("+", BinaryOp("*", du, v), BinaryOp("*", u, dv))
+            if node.op == "/":
+                numerator = BinaryOp("-", BinaryOp("*", du, v), BinaryOp("*", u, dv))
+                return BinaryOp("/", numerator, BinaryOp("*", v, v))
+            if node.op == "**":
+                if not isinstance(v, Constant):
+                    raise NonLinearExpressionError(
+                        "cannot differentiate a power with non-constant exponent"
+                    )
+                factor = BinaryOp("*", v, BinaryOp("**", u, Constant(v.value - 1.0)))
+                return BinaryOp("*", factor, du)
+            raise NonLinearExpressionError(
+                f"cannot differentiate comparison operator {node.op!r}"
+            )
+        if isinstance(node, Call):
+            return _differentiate_call(node, name, visit)
+        if isinstance(node, Conditional):
+            if node.condition.contains_variable(name):
+                raise NonLinearExpressionError(
+                    "cannot differentiate a conditional whose condition depends "
+                    f"on {name!r}"
+                )
+            return Conditional(node.condition, visit(node.then), visit(node.otherwise))
+        if isinstance(node, (Derivative, Integral)):
+            if node.operand.contains_variable(name):
+                raise NonLinearExpressionError(
+                    "discretise ddt/idt before differentiating with respect to "
+                    f"{name!r}"
+                )
+            return Constant(0.0)
+        raise NonLinearExpressionError(
+            f"cannot differentiate node of type {type(node).__name__}"
+        )
+
+    return simplify(visit(expr))
+
+
+def _differentiate_call(node: Call, name: str, visit) -> Expr:
+    """Chain rule for the supported single-argument functions."""
+    if not node.args[0].contains_variable(name) and all(
+        not arg.contains_variable(name) for arg in node.args
+    ):
+        return Constant(0.0)
+    arg = node.args[0]
+    darg = visit(arg)
+    func = node.func
+    if func == "sin":
+        outer: Expr = Call("cos", (arg,))
+    elif func == "cos":
+        outer = UnaryOp("-", Call("sin", (arg,)))
+    elif func == "tan":
+        cos = Call("cos", (arg,))
+        outer = BinaryOp("/", Constant(1.0), BinaryOp("*", cos, cos))
+    elif func in ("exp", "limexp"):
+        outer = Call("exp", (arg,))
+    elif func == "ln":
+        outer = BinaryOp("/", Constant(1.0), arg)
+    elif func == "sqrt":
+        outer = BinaryOp("/", Constant(0.5), Call("sqrt", (arg,)))
+    elif func == "tanh":
+        tanh = Call("tanh", (arg,))
+        outer = BinaryOp("-", Constant(1.0), BinaryOp("*", tanh, tanh))
+    elif func == "sinh":
+        outer = Call("cosh", (arg,))
+    elif func == "cosh":
+        outer = Call("sinh", (arg,))
+    elif func == "atan":
+        outer = BinaryOp(
+            "/", Constant(1.0), BinaryOp("+", Constant(1.0), BinaryOp("*", arg, arg))
+        )
+    elif func == "pow":
+        base, exponent = node.args
+        if exponent.contains_variable(name):
+            raise NonLinearExpressionError(
+                "cannot differentiate pow() with a variable exponent"
+            )
+        if not isinstance(exponent, Constant):
+            raise NonLinearExpressionError(
+                "cannot differentiate pow() with a non-constant exponent"
+            )
+        outer = BinaryOp(
+            "*", exponent, Call("pow", (base, Constant(exponent.value - 1.0)))
+        )
+        darg = visit(base)
+    else:
+        raise NonLinearExpressionError(f"cannot differentiate function {func!r}")
+    return BinaryOp("*", outer, darg)
+
+
+def is_linear_in(expr: Expr, names: set[str] | frozenset[str]) -> bool:
+    """Return ``True`` when ``expr`` is (jointly) linear in all ``names``."""
+    try:
+        for name in names:
+            gradient = differentiate(expr, name)
+            if any(isinstance(node, Variable) and node.name in names for node in gradient.walk()):
+                return False
+    except NonLinearExpressionError:
+        return False
+    return True

@@ -1,0 +1,154 @@
+"""Numeric evaluation of expression trees.
+
+Evaluation is used by the reference AMS simulator (to evaluate dipole
+equations every timestep), by the abstraction pipeline's self checks and by
+tests that compare symbolic transformations against direct evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from ..errors import EvaluationError
+from .ast import (
+    BinaryOp,
+    Call,
+    Conditional,
+    Constant,
+    Derivative,
+    Expr,
+    Integral,
+    Previous,
+    UnaryOp,
+    Variable,
+)
+
+
+def _limexp(value: float) -> float:
+    """Verilog-AMS ``limexp``: exponential with linearised growth above 80."""
+    if value <= 80.0:
+        return math.exp(value)
+    return math.exp(80.0) * (1.0 + value - 80.0)
+
+
+#: Default numeric implementations of :data:`repro.expr.ast.KNOWN_FUNCTIONS`.
+FUNCTION_TABLE: dict[str, Callable[..., float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+    "atan2": math.atan2,
+    "sinh": math.sinh,
+    "cosh": math.cosh,
+    "tanh": math.tanh,
+    "exp": math.exp,
+    "ln": math.log,
+    "log": math.log10,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "pow": math.pow,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "limexp": _limexp,
+}
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "**": lambda a, b: a**b,
+    "<": lambda a, b: 1.0 if a < b else 0.0,
+    "<=": lambda a, b: 1.0 if a <= b else 0.0,
+    ">": lambda a, b: 1.0 if a > b else 0.0,
+    ">=": lambda a, b: 1.0 if a >= b else 0.0,
+    "==": lambda a, b: 1.0 if a == b else 0.0,
+    "!=": lambda a, b: 1.0 if a != b else 0.0,
+    "&&": lambda a, b: 1.0 if (a != 0.0 and b != 0.0) else 0.0,
+    "||": lambda a, b: 1.0 if (a != 0.0 or b != 0.0) else 0.0,
+}
+
+
+def evaluate(
+    expr: Expr,
+    bindings: Mapping[str, float] | None = None,
+    previous: Mapping[str, float] | None = None,
+    functions: Mapping[str, Callable[..., float]] | None = None,
+) -> float:
+    """Numerically evaluate ``expr``.
+
+    Parameters
+    ----------
+    expr:
+        The expression to evaluate.
+    bindings:
+        Values for :class:`~repro.expr.ast.Variable` leaves, keyed by name.
+    previous:
+        Values for :class:`~repro.expr.ast.Previous` leaves, keyed by name.
+        When omitted, ``bindings`` is consulted instead (useful in steady
+        state where ``x`` and ``prev(x)`` coincide).
+    functions:
+        Extra or overriding function implementations.
+
+    Raises
+    ------
+    EvaluationError
+        If a variable is unbound, a function is unknown, or the expression
+        still contains continuous-time operators (``ddt``/``idt``), which have
+        no pointwise value and must be discretised first.
+    """
+    bindings = bindings or {}
+    table = dict(FUNCTION_TABLE)
+    if functions:
+        table.update(functions)
+
+    def visit(node: Expr) -> float:
+        if isinstance(node, Constant):
+            return node.value
+        if isinstance(node, Variable):
+            if node.name not in bindings:
+                raise EvaluationError(f"unbound variable {node.name!r}")
+            return float(bindings[node.name])
+        if isinstance(node, Previous):
+            source = previous if previous is not None else bindings
+            if node.name not in source:
+                raise EvaluationError(f"unbound previous value prev({node.name!r})")
+            return float(source[node.name])
+        if isinstance(node, UnaryOp):
+            value = visit(node.operand)
+            if node.op == "-":
+                return -value
+            if node.op == "+":
+                return value
+            return 1.0 if value == 0.0 else 0.0
+        if isinstance(node, BinaryOp):
+            lhs = visit(node.lhs)
+            rhs = visit(node.rhs)
+            try:
+                return _ARITHMETIC[node.op](lhs, rhs)
+            except ZeroDivisionError as exc:
+                raise EvaluationError(f"division by zero in {node}") from exc
+        if isinstance(node, Call):
+            if node.func not in table:
+                raise EvaluationError(f"unknown function {node.func!r}")
+            args = [visit(arg) for arg in node.args]
+            try:
+                return float(table[node.func](*args))
+            except (ValueError, OverflowError) as exc:
+                raise EvaluationError(f"math error evaluating {node}: {exc}") from exc
+        if isinstance(node, Conditional):
+            condition = visit(node.condition)
+            return visit(node.then) if condition != 0.0 else visit(node.otherwise)
+        if isinstance(node, (Derivative, Integral)):
+            raise EvaluationError(
+                "ddt/idt operators have no pointwise value; discretise the "
+                "expression before evaluating it"
+            )
+        raise EvaluationError(f"cannot evaluate node of type {type(node).__name__}")
+
+    return visit(expr)

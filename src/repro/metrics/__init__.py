@@ -1,0 +1,14 @@
+"""Metrics: waveform accuracy (NRMSE) and wall-clock timing."""
+
+from .nrmse import compare_trace_sets, compare_traces, nrmse, rmse
+from .timing import Stopwatch, TimedResult, measure
+
+__all__ = [
+    "Stopwatch",
+    "TimedResult",
+    "compare_trace_sets",
+    "compare_traces",
+    "measure",
+    "nrmse",
+    "rmse",
+]

@@ -1,0 +1,75 @@
+"""Waveform comparison: the NRMSE metric of the paper's accuracy columns.
+
+"The equivalence of generated models is evaluated by computing the normalized
+root-mean-square error (NRMSE) of their output with respect to the output of
+the original Verilog-AMS representation" (paper Section V.A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.trace import Trace, TraceSet
+
+
+def rmse(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Root-mean-square error between two equally sampled waveforms."""
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape:
+        raise ValueError(
+            f"waveform shapes differ: {reference.shape} vs {measured.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("cannot compute the RMSE of empty waveforms")
+    return float(np.sqrt(np.mean((reference - measured) ** 2)))
+
+
+def nrmse(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Normalised RMSE: the RMSE divided by the reference peak-to-peak range.
+
+    When the reference is constant, normalisation falls back to its absolute
+    mean value and, if that is also zero, to 1 (so that the result degrades
+    gracefully to the plain RMSE).
+    """
+    reference = np.asarray(reference, dtype=float)
+    error = rmse(reference, measured)
+    span = float(np.max(reference) - np.min(reference))
+    if span <= 0.0:
+        span = float(np.mean(np.abs(reference)))
+    if span <= 0.0:
+        span = 1.0
+    return error / span
+
+
+def compare_traces(
+    reference: Trace,
+    measured: Trace,
+    resample: bool = True,
+) -> float:
+    """NRMSE between two traces, resampling the measured one when requested.
+
+    The engines compared in Tables I and III all run at the same external
+    timestep, but their first samples may be offset by one step (delta-cycle
+    alignment); resampling the measured waveform onto the reference time grid
+    makes the comparison insensitive to that.
+    """
+    if len(reference) == 0 or len(measured) == 0:
+        raise ValueError("cannot compare empty traces")
+    if resample:
+        measured_values = measured.resample(reference.times)
+    else:
+        measured_values = measured.values
+    return nrmse(reference.values, measured_values)
+
+
+def compare_trace_sets(
+    reference: TraceSet,
+    measured: TraceSet,
+    names: list[str] | None = None,
+) -> dict[str, float]:
+    """Per-waveform NRMSE between two trace sets (keys present in both)."""
+    names = names or [name for name in reference.names() if name in measured]
+    return {
+        name: compare_traces(reference[name], measured[name]) for name in names
+    }

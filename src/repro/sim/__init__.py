@@ -1,0 +1,78 @@
+"""Simulation substrates: DE kernel, TDF kernel, ELN solver, reference AMS engine."""
+
+from .ams import ReferenceAmsSimulator
+from .cosim import AnalogCosimServer, CoSimulationBridge
+from .de import Clock, Event, Kernel, Module, PeriodicTicker, Signal
+from .eln import ElnModel
+from .integration import (
+    DeProbeModule,
+    DeSignalFlowModule,
+    DeSourceModule,
+    DeToTdfSignal,
+    ElnDeModule,
+    TdfDeBridge,
+    TdfProbeModule,
+    TdfSignalFlowModule,
+    TdfSourceModule,
+    TdfToDeSignal,
+)
+from .runners import (
+    run_de_model,
+    run_eln_model,
+    run_interpreted_model,
+    run_python_model,
+    run_reference_model,
+    run_tdf_model,
+)
+from .sources import (
+    PAPER_SQUARE_WAVE,
+    ConstantSource,
+    PiecewiseLinear,
+    SineWave,
+    SquareWave,
+    StepSource,
+)
+from .tdf import TdfCluster, TdfInPort, TdfModule, TdfOutPort, TdfSignal
+from .trace import Trace, TraceSet
+
+__all__ = [
+    "AnalogCosimServer",
+    "Clock",
+    "CoSimulationBridge",
+    "ConstantSource",
+    "DeProbeModule",
+    "DeSignalFlowModule",
+    "DeSourceModule",
+    "DeToTdfSignal",
+    "ElnDeModule",
+    "ElnModel",
+    "Event",
+    "Kernel",
+    "Module",
+    "PAPER_SQUARE_WAVE",
+    "PeriodicTicker",
+    "PiecewiseLinear",
+    "ReferenceAmsSimulator",
+    "Signal",
+    "SineWave",
+    "SquareWave",
+    "StepSource",
+    "TdfCluster",
+    "TdfDeBridge",
+    "TdfInPort",
+    "TdfModule",
+    "TdfOutPort",
+    "TdfProbeModule",
+    "TdfSignal",
+    "TdfSignalFlowModule",
+    "TdfSourceModule",
+    "TdfToDeSignal",
+    "Trace",
+    "TraceSet",
+    "run_de_model",
+    "run_eln_model",
+    "run_interpreted_model",
+    "run_python_model",
+    "run_reference_model",
+    "run_tdf_model",
+]

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (SystemC-DE analogue)."""
+
+from .kernel import Event, Kernel, SignalUpdate, ThreadProcess
+from .module import Clock, Module, PeriodicTicker
+from .signal import Signal
+from .simtime import FS, MS, NS, PS, SEC, US, format_time, quantize
+
+__all__ = [
+    "Clock",
+    "Event",
+    "FS",
+    "Kernel",
+    "MS",
+    "Module",
+    "NS",
+    "PS",
+    "PeriodicTicker",
+    "SEC",
+    "Signal",
+    "SignalUpdate",
+    "ThreadProcess",
+    "US",
+    "format_time",
+    "quantize",
+]

@@ -1,0 +1,227 @@
+"""Discrete-event simulation kernel (the SystemC-DE analogue).
+
+The kernel implements the subset of SystemC's simulation semantics the
+virtual platform and the generated SystemC-DE models need:
+
+* timed event notifications kept in a binary heap;
+* evaluate/update *delta cycles* so that signals written during one
+  evaluation phase only become visible in the next one;
+* method processes with static or dynamic sensitivity, and thread processes
+  written as Python generators that ``yield`` waits.
+
+The scheduler loop mirrors the SystemC reference implementation: run every
+runnable process (evaluation phase), apply signal updates (update phase),
+schedule processes woken by the resulting value changes into a new delta
+cycle, and only when no delta work is left advance simulated time to the next
+timed notification.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from ...errors import SimulationError
+from .simtime import quantize
+
+
+class Event:
+    """A notifiable synchronisation object (like ``sc_event``)."""
+
+    __slots__ = ("kernel", "name", "_waiting_methods", "_waiting_threads")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name or f"event_{id(self):x}"
+        self._waiting_methods: list[Callable[[], None]] = []
+        self._waiting_threads: list["ThreadProcess"] = []
+
+    # -- subscription ------------------------------------------------------------
+    def add_static_method(self, callback: Callable[[], None]) -> None:
+        """Statically sensitise a method process to this event."""
+        self._waiting_methods.append(callback)
+
+    def wait_thread(self, process: "ThreadProcess") -> None:
+        """Register a thread process waiting (dynamically) on this event."""
+        self._waiting_threads.append(process)
+
+    # -- notification ---------------------------------------------------------------
+    def notify(self, delay: float | None = None) -> None:
+        """Notify the event.
+
+        ``delay=None`` performs an immediate (same evaluation phase) trigger;
+        ``delay=0.0`` is a delta notification; a positive delay is a timed
+        notification, as in SystemC.
+        """
+        if delay is None:
+            self.kernel._trigger_event(self)
+        elif delay == 0.0:
+            self.kernel._schedule_delta(self._trigger)
+        else:
+            self.kernel.schedule(delay, self._trigger)
+
+    def _trigger(self) -> None:
+        self.kernel._trigger_event(self)
+
+
+class ThreadProcess:
+    """A coroutine-style process: a generator yielding waits.
+
+    Yield values understood by the kernel:
+
+    * a ``float`` — wait for that many seconds;
+    * an :class:`Event` — wait until the event is notified;
+    * ``None`` — wait one delta cycle.
+    """
+
+    __slots__ = ("kernel", "name", "generator", "terminated")
+
+    def __init__(self, kernel: "Kernel", name: str, generator) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.generator = generator
+        self.terminated = False
+
+    def start(self) -> None:
+        """Schedule the first activation at the current time."""
+        self.kernel._schedule_delta(self.resume)
+
+    def resume(self) -> None:
+        """Run the process until its next wait."""
+        if self.terminated:
+            return
+        try:
+            request = next(self.generator)
+        except StopIteration:
+            self.terminated = True
+            return
+        if request is None:
+            self.kernel._schedule_delta(self.resume)
+        elif isinstance(request, Event):
+            request.wait_thread(self)
+        elif isinstance(request, (int, float)):
+            self.kernel.schedule(float(request), self.resume)
+        else:
+            raise SimulationError(
+                f"thread process {self.name!r} yielded an unsupported wait "
+                f"request: {request!r}"
+            )
+
+
+class Kernel:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._sequence = 0
+        self._timed: list[tuple[float, int, Callable[[], None]]] = []
+        self._runnable: list[Callable[[], None]] = []
+        self._delta_pending: list[Callable[[], None]] = []
+        self._update_requests: list["SignalUpdate"] = []
+        self._running = False
+        self._finished = False
+        self.delta_count = 0
+        self.event_count = 0
+
+    # -- scheduling primitives -----------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError("cannot schedule an action in the past")
+        self._sequence += 1
+        heapq.heappush(self._timed, (quantize(self.now + delay), self._sequence, action))
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at the absolute time ``time``."""
+        self.schedule(max(0.0, time - self.now), action)
+
+    def _schedule_delta(self, action: Callable[[], None]) -> None:
+        self._delta_pending.append(action)
+
+    def _trigger_event(self, event: Event) -> None:
+        self.event_count += 1
+        for callback in event._waiting_methods:
+            self._runnable.append(callback)
+        waiting = event._waiting_threads
+        if waiting:
+            event._waiting_threads = []
+            for process in waiting:
+                self._runnable.append(process.resume)
+
+    def request_update(self, update: "SignalUpdate") -> None:
+        """Queue a signal update to be applied at the end of the evaluation phase."""
+        self._update_requests.append(update)
+
+    # -- processes ------------------------------------------------------------------------
+    def spawn_thread(self, generator, name: str = "") -> ThreadProcess:
+        """Create and start a thread process from a generator."""
+        process = ThreadProcess(self, name or f"thread_{self._sequence}", generator)
+        process.start()
+        return process
+
+    # -- simulation loop -------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the simulation at the end of the current delta cycle."""
+        self._finished = True
+
+    def run(self, duration: float | None = None) -> float:
+        """Run the simulation.
+
+        ``duration`` bounds the simulated time starting from ``now``; when
+        omitted the kernel runs until no work is left.  Returns the final
+        simulated time.
+        """
+        if self._running:
+            raise SimulationError("the kernel is already running")
+        self._running = True
+        self._finished = False
+        end_time = None if duration is None else quantize(self.now + duration)
+        try:
+            while not self._finished:
+                self._run_delta_cycles()
+                if not self._timed:
+                    break
+                next_time = self._timed[0][0]
+                if end_time is not None and next_time > end_time + 1e-18:
+                    self.now = end_time
+                    break
+                self.now = next_time
+                while self._timed and self._timed[0][0] <= next_time + 1e-18:
+                    _, _, action = heapq.heappop(self._timed)
+                    self._runnable.append(action)
+        finally:
+            self._running = False
+        if end_time is not None and self.now < end_time:
+            self.now = end_time
+        return self.now
+
+    def _run_delta_cycles(self) -> None:
+        while self._runnable or self._delta_pending:
+            if self._finished:
+                return
+            # Evaluation phase.
+            self._runnable.extend(self._delta_pending)
+            self._delta_pending = []
+            runnable = self._runnable
+            self._runnable = []
+            for action in runnable:
+                action()
+            # Update phase.
+            if self._update_requests:
+                updates = self._update_requests
+                self._update_requests = []
+                for update in updates:
+                    update.apply()
+            self.delta_count += 1
+
+    # -- queries ---------------------------------------------------------------------------
+    def pending_activity(self) -> bool:
+        """Whether any timed or delta work remains."""
+        return bool(self._timed or self._runnable or self._delta_pending)
+
+
+class SignalUpdate:
+    """Protocol object queued by signals during the evaluation phase."""
+
+    def apply(self) -> None:  # pragma: no cover - interface definition
+        raise NotImplementedError

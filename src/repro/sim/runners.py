@@ -1,0 +1,162 @@
+"""Standalone runners: one function per simulation target of Tables I and II.
+
+Each runner simulates one analog component in isolation, stimulated by the
+same waveform (as callables — the generator is degenerate enough that keeping
+it in the component's MoC only matters for the wrappers, which these runners
+use), and returns the recorded output waveforms.  The benchmark harness and
+the examples build on these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..core.signalflow import SignalFlowModel
+from ..core.codegen.python_backend import compile_model
+from ..network.circuit import Circuit
+from .ams import ReferenceAmsSimulator
+from .de import Kernel
+from .eln import ElnModel
+from .integration import (
+    DeProbeModule,
+    DeSignalFlowModule,
+    DeSourceModule,
+    TdfProbeModule,
+    TdfSignalFlowModule,
+    TdfSourceModule,
+)
+from .tdf import TdfCluster
+from .trace import Trace, TraceSet
+
+Stimuli = Mapping[str, Callable[[float], float]]
+
+
+def run_python_model(
+    model: "SignalFlowModel | object",
+    stimuli: Stimuli,
+    duration: float,
+    timestep: float | None = None,
+) -> TraceSet:
+    """Run the generated plain-Python model (the paper's C++ target) directly."""
+    instance = _instantiate(model)
+    dt = float(timestep if timestep is not None else instance.TIMESTEP)
+    input_names = list(instance.INPUTS)
+    output_names = list(instance.OUTPUTS)
+    waveforms = [stimuli[name] for name in input_names]
+    traces = TraceSet({name: Trace(name) for name in output_names})
+    steps = int(round(duration / dt))
+    single_output = len(output_names) == 1
+    step = instance.step
+    for index in range(steps):
+        time = (index + 1) * dt
+        result = step(*[waveform(time) for waveform in waveforms], time)
+        if single_output:
+            traces[output_names[0]].append(time, result)
+        else:
+            for name, value in zip(output_names, result):
+                traces[name].append(time, value)
+    return traces
+
+
+def run_de_model(
+    model: "SignalFlowModel | object",
+    stimuli: Stimuli,
+    duration: float,
+) -> TraceSet:
+    """Run the generated model inside the discrete-event kernel (SystemC-DE row)."""
+    instance = _instantiate(model)
+    dt = float(instance.TIMESTEP)
+    kernel = Kernel()
+    sources = {
+        name: DeSourceModule(kernel, f"src_{name}", stimuli[name], dt)
+        for name in instance.INPUTS
+    }
+    device = DeSignalFlowModule(
+        kernel,
+        "dut",
+        instance,
+        {name: source.out for name, source in sources.items()},
+    )
+    probes = {
+        name: DeProbeModule(kernel, name, device.output(name), dt)
+        for name in instance.OUTPUTS
+    }
+    kernel.run(duration)
+    return TraceSet({name: probe.trace for name, probe in probes.items()})
+
+
+def run_tdf_model(
+    model: "SignalFlowModel | object",
+    stimuli: Stimuli,
+    duration: float,
+) -> TraceSet:
+    """Run the generated model inside the TDF kernel (SystemC-AMS/TDF row)."""
+    instance = _instantiate(model)
+    dt = float(instance.TIMESTEP)
+    cluster = TdfCluster("isolation")
+    device = cluster.add(TdfSignalFlowModule("dut", instance))
+    probes: dict[str, TdfProbeModule] = {}
+    for name in instance.INPUTS:
+        source = cluster.add(TdfSourceModule(f"src_{name}", stimuli[name], dt))
+        cluster.connect(source.out, device.inputs[name])
+    for name in instance.OUTPUTS:
+        probe = cluster.add(TdfProbeModule(name))
+        cluster.connect(device.outputs[name], probe.inp)
+        probes[name] = probe
+    cluster.run(duration)
+    return TraceSet({name: probe.trace for name, probe in probes.items()})
+
+
+def run_eln_model(
+    circuit: Circuit,
+    stimuli: Stimuli,
+    duration: float,
+    timestep: float,
+    record: list[str],
+) -> TraceSet:
+    """Run the conservative ELN solver standalone (SystemC-AMS/ELN row)."""
+    model = ElnModel(circuit, timestep)
+    return model.run(stimuli, duration, record)
+
+
+def run_reference_model(
+    circuit: "Circuit | str",
+    stimuli: Stimuli,
+    duration: float,
+    timestep: float,
+    record: list[str],
+    oversampling: int = 2,
+    solver_iterations: int = 2,
+) -> TraceSet:
+    """Run the reference Verilog-AMS engine standalone (the golden baseline)."""
+    simulator = ReferenceAmsSimulator(
+        circuit,
+        timestep,
+        oversampling=oversampling,
+        solver_iterations=solver_iterations,
+    )
+    return simulator.run(stimuli, duration, record)
+
+
+def run_interpreted_model(
+    model: SignalFlowModel,
+    stimuli: Stimuli,
+    duration: float,
+) -> TraceSet:
+    """Run the signal-flow model through its interpreted ``step`` (for checks)."""
+    trace = model.run(stimuli, duration)
+    traces = TraceSet()
+    for name in model.outputs:
+        recorded = traces.add(name)
+        for time, value in zip(trace.times, trace.waveform(name)):
+            recorded.append(float(time), float(value))
+    return traces
+
+
+def _instantiate(model: "SignalFlowModel | object"):
+    """Accept a SignalFlowModel (compiled on the fly), a class or an instance."""
+    if isinstance(model, SignalFlowModel):
+        return compile_model(model)()
+    if isinstance(model, type):
+        return model()
+    return model

@@ -1,0 +1,63 @@
+"""Verilog-AMS frontend: lexer, parser, classification and netlist extraction."""
+
+from .ast import (
+    FLOW,
+    INOUT,
+    INPUT,
+    OUTPUT,
+    POTENTIAL,
+    AccessRef,
+    Assignment,
+    Block,
+    BranchDeclaration,
+    Contribution,
+    IfStatement,
+    Parameter,
+    Port,
+    VamsModule,
+)
+from .classify import (
+    CONSERVATIVE,
+    MIXED,
+    SIGNAL_FLOW,
+    Classification,
+    classify_contribution,
+    classify_module,
+)
+from .lexer import Lexer, Token, parse_number, tokenize
+from .netlist import NetlistError, extract_dipole_equations, find_ground, to_circuit
+from .parser import Parser, parse_module, parse_source
+
+__all__ = [
+    "AccessRef",
+    "Assignment",
+    "Block",
+    "BranchDeclaration",
+    "CONSERVATIVE",
+    "Classification",
+    "Contribution",
+    "FLOW",
+    "IfStatement",
+    "INOUT",
+    "INPUT",
+    "Lexer",
+    "MIXED",
+    "NetlistError",
+    "OUTPUT",
+    "POTENTIAL",
+    "Parameter",
+    "Parser",
+    "Port",
+    "SIGNAL_FLOW",
+    "Token",
+    "VamsModule",
+    "classify_contribution",
+    "classify_module",
+    "extract_dipole_equations",
+    "find_ground",
+    "parse_module",
+    "parse_number",
+    "parse_source",
+    "to_circuit",
+    "tokenize",
+]

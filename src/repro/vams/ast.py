@@ -1,0 +1,176 @@
+"""Abstract syntax tree of the Verilog-AMS analog subset.
+
+The tree produced by :mod:`repro.vams.parser` mirrors the structure the paper
+works with (Figure 2): a module made of *declarations* (ports, disciplines,
+parameters, named branches), and an *analog block* containing contribution
+statements, assignments and conditionals whose expressions are
+:class:`repro.expr.ast.Expr` trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..expr.ast import Expr
+
+#: Port directions.
+INPUT = "input"
+OUTPUT = "output"
+INOUT = "inout"
+DIRECTIONS = (INPUT, OUTPUT, INOUT)
+
+#: Access function kinds.
+POTENTIAL = "V"
+FLOW = "I"
+
+
+@dataclass
+class Port:
+    """A module port with its direction and (optional) discipline."""
+
+    name: str
+    direction: str = INOUT
+    discipline: str | None = None
+
+
+@dataclass
+class Parameter:
+    """A ``parameter real`` declaration with its default value."""
+
+    name: str
+    value: float
+    kind: str = "real"
+
+
+@dataclass
+class BranchDeclaration:
+    """A named branch declared with ``branch (p, n) name;``."""
+
+    name: str
+    positive: str
+    negative: str
+
+
+@dataclass
+class AccessRef:
+    """A reference to an access function target: ``V(a)``, ``V(a,b)`` or ``I(br)``.
+
+    ``positive``/``negative`` are net names; when the access uses a named
+    branch, ``branch`` holds its name instead.
+    """
+
+    kind: str  # POTENTIAL or FLOW
+    positive: str | None = None
+    negative: str | None = None
+    branch: str | None = None
+
+    def canonical_name(self) -> str:
+        """Return the canonical variable name used by the expression engine."""
+        if self.branch is not None:
+            return f"{self.kind}({self.branch})"
+        if self.negative is not None:
+            return f"{self.kind}({self.positive},{self.negative})"
+        return f"{self.kind}({self.positive})"
+
+
+# -- analog statements -----------------------------------------------------------
+@dataclass
+class AnalogStatement:
+    """Base class of the statements allowed inside an analog block."""
+
+
+@dataclass
+class Contribution(AnalogStatement):
+    """A contribution statement ``target <+ expression;``."""
+
+    target: AccessRef
+    expression: Expr
+
+
+@dataclass
+class Assignment(AnalogStatement):
+    """A procedural assignment ``name = expression;`` to a real variable."""
+
+    name: str
+    expression: Expr
+
+
+@dataclass
+class IfStatement(AnalogStatement):
+    """An ``if``/``else`` statement with lists of statements in each branch."""
+
+    condition: Expr
+    then_branch: list[AnalogStatement] = field(default_factory=list)
+    else_branch: list[AnalogStatement] = field(default_factory=list)
+
+
+@dataclass
+class Block(AnalogStatement):
+    """A ``begin ... end`` sequence of statements."""
+
+    statements: list[AnalogStatement] = field(default_factory=list)
+
+
+# -- module ------------------------------------------------------------------------
+@dataclass
+class VamsModule:
+    """A parsed Verilog-AMS module."""
+
+    name: str
+    ports: list[Port] = field(default_factory=list)
+    parameters: list[Parameter] = field(default_factory=list)
+    disciplines: dict[str, str] = field(default_factory=dict)
+    grounds: set[str] = field(default_factory=set)
+    branches: list[BranchDeclaration] = field(default_factory=list)
+    real_variables: list[str] = field(default_factory=list)
+    analog: list[AnalogStatement] = field(default_factory=list)
+
+    # -- convenience queries -------------------------------------------------------
+    def port_names(self) -> list[str]:
+        """Names of the module ports in declaration order."""
+        return [port.name for port in self.ports]
+
+    def port(self, name: str) -> Port | None:
+        """Return the port called ``name`` (or ``None``)."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def parameter_values(self) -> dict[str, float]:
+        """Return parameter default values keyed by name."""
+        return {parameter.name: parameter.value for parameter in self.parameters}
+
+    def branch_by_name(self, name: str) -> BranchDeclaration | None:
+        """Return the declared branch called ``name`` (or ``None``)."""
+        for branch in self.branches:
+            if branch.name == name:
+                return branch
+        return None
+
+    def electrical_nets(self) -> list[str]:
+        """Names of every net declared with the ``electrical`` discipline."""
+        return [name for name, discipline in self.disciplines.items() if discipline == "electrical"]
+
+    def iter_statements(self) -> Iterator[AnalogStatement]:
+        """Yield every analog statement, flattening blocks and conditionals."""
+
+        def walk(statements: list[AnalogStatement]) -> Iterator[AnalogStatement]:
+            for statement in statements:
+                yield statement
+                if isinstance(statement, Block):
+                    yield from walk(statement.statements)
+                elif isinstance(statement, IfStatement):
+                    yield from walk(statement.then_branch)
+                    yield from walk(statement.else_branch)
+
+        yield from walk(self.analog)
+
+    def contributions(self) -> list[Contribution]:
+        """Return every contribution statement in the analog block."""
+        return [
+            statement
+            for statement in self.iter_statements()
+            if isinstance(statement, Contribution)
+        ]

@@ -1,0 +1,81 @@
+"""Classification of analog descriptions into the paper's block kinds.
+
+Section III of the paper observes that analog descriptions consist of
+*declarations*, *signal-flow* representations and *conservative*
+representations (blocks a, b and c of Figure 2), and that conversion must be
+handled differently for the last two.  This module decides, for a parsed
+module (or an individual contribution), which category it falls into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import FLOW, Contribution, VamsModule
+
+#: Model categories.
+SIGNAL_FLOW = "signal_flow"
+CONSERVATIVE = "conservative"
+MIXED = "mixed"
+
+
+def _references_flow(contribution: Contribution) -> bool:
+    """True when the statement reads or drives a flow (current) quantity."""
+    if contribution.target.kind == FLOW:
+        return True
+    return any(name.startswith("I(") for name in contribution.expression.variables())
+
+
+def classify_contribution(contribution: Contribution) -> str:
+    """Classify a single contribution statement.
+
+    A statement participates in a conservative description when it drives or
+    reads a flow quantity (the energy-conservation laws then matter for the
+    solution); otherwise it is a pure signal-flow relation between potentials.
+    """
+    return CONSERVATIVE if _references_flow(contribution) else SIGNAL_FLOW
+
+
+@dataclass
+class Classification:
+    """Outcome of classifying a module's analog block."""
+
+    category: str
+    conservative_statements: list[Contribution]
+    signal_flow_statements: list[Contribution]
+    uses_branches: bool
+
+    @property
+    def is_conservative(self) -> bool:
+        """True when the model needs the abstraction methodology (Section IV)."""
+        return self.category in (CONSERVATIVE, MIXED)
+
+    @property
+    def is_signal_flow(self) -> bool:
+        """True when the model can be converted directly (Section III.A)."""
+        return self.category == SIGNAL_FLOW
+
+
+def classify_module(module: VamsModule) -> Classification:
+    """Classify the analog block of ``module``.
+
+    The category is ``conservative`` when every contribution involves flow
+    quantities, ``signal_flow`` when none does, and ``mixed`` otherwise.  A
+    module that declares named branches is treated as conservative even if no
+    statement reads a current, because the declared topology implies energy
+    conservation constraints between its branches.
+    """
+    contributions = module.contributions()
+    conservative = [c for c in contributions if classify_contribution(c) == CONSERVATIVE]
+    signal_flow = [c for c in contributions if classify_contribution(c) == SIGNAL_FLOW]
+    uses_branches = bool(module.branches)
+
+    if conservative and signal_flow:
+        category = MIXED
+    elif conservative:
+        category = CONSERVATIVE
+    elif uses_branches and contributions:
+        category = CONSERVATIVE
+    else:
+        category = SIGNAL_FLOW
+    return Classification(category, conservative, signal_flow, uses_branches)

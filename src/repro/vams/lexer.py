@@ -1,0 +1,245 @@
+"""Tokeniser for the Verilog-AMS analog subset used by the paper.
+
+The lexer understands the lexical elements needed by analog behavioural
+models: identifiers, system identifiers (``$abstime``), numbers with
+engineering scale factors (``5k``, ``25n``), operators (including the
+contribution operator ``<+``), punctuation, and both comment styles.
+Compiler directives (lines starting with a backtick, e.g.
+``` `include "disciplines.vams" ```) are skipped, matching the behaviour of a
+standalone analog elaborator that has the standard disciplines built in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import VamsLexerError
+
+#: Token categories.
+IDENT = "IDENT"
+SYSTEM_IDENT = "SYSTEM_IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OPERATOR = "OPERATOR"
+PUNCT = "PUNCT"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+#: Reserved words of the supported subset.
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "electrical",
+        "voltage",
+        "current",
+        "ground",
+        "parameter",
+        "real",
+        "integer",
+        "branch",
+        "analog",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "from",
+        "exclude",
+        "wire",
+    }
+)
+
+#: Engineering scale factors defined by Verilog-AMS (section 2.6.2 of the LRM).
+SCALE_FACTORS = {
+    "T": 1e12,
+    "G": 1e9,
+    "M": 1e6,
+    "K": 1e3,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_CHAR_OPERATORS = ("<+", "**", "<=", ">=", "==", "!=", "&&", "||")
+_SINGLE_CHAR_OPERATORS = "+-*/<>!?:="
+_PUNCTUATION = "(),;[]{}@#."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming tokeniser over a Verilog-AMS source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position : self.position + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def _error(self, message: str) -> VamsLexerError:
+        return VamsLexerError(message, self.line, self.column)
+
+    # -- scanning ----------------------------------------------------------------
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token of the source, ending with an EOF token."""
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "/" and self._peek(1) == "/":
+                self._skip_line()
+                continue
+            if char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+            if char == "`":
+                # Compiler directive: ignore until end of line.
+                self._skip_line()
+                continue
+            if char == '"':
+                yield self._scan_string()
+                continue
+            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                yield self._scan_number()
+                continue
+            if char.isalpha() or char == "_":
+                yield self._scan_identifier()
+                continue
+            if char == "$":
+                yield self._scan_system_identifier()
+                continue
+            operator = self._scan_operator()
+            if operator is not None:
+                yield operator
+                continue
+            if char in _PUNCTUATION:
+                line, column = self.line, self.column
+                yield Token(PUNCT, self._advance(), line, column)
+                continue
+            raise self._error(f"unexpected character {char!r}")
+        yield Token(EOF, "", self.line, self.column)
+
+    def _skip_line(self) -> None:
+        while self.position < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_column = self.line, self.column
+        self._advance(2)
+        while self.position < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise VamsLexerError("unterminated block comment", start_line, start_column)
+
+    def _scan_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        characters: list[str] = []
+        while self.position < len(self.source) and self._peek() != '"':
+            characters.append(self._advance())
+        if self.position >= len(self.source):
+            raise VamsLexerError("unterminated string literal", line, column)
+        self._advance()  # closing quote
+        return Token(STRING, "".join(characters), line, column)
+
+    def _scan_number(self) -> Token:
+        line, column = self.line, self.column
+        characters: list[str] = []
+        while self._peek().isdigit():
+            characters.append(self._advance())
+        if self._peek() == "." and self._peek(1).isdigit():
+            characters.append(self._advance())
+            while self._peek().isdigit():
+                characters.append(self._advance())
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            characters.append(self._advance())
+            if self._peek() in "+-":
+                characters.append(self._advance())
+            while self._peek().isdigit():
+                characters.append(self._advance())
+        elif self._peek() in SCALE_FACTORS and not self._peek(1).isalnum():
+            characters.append(self._advance())
+        return Token(NUMBER, "".join(characters), line, column)
+
+    def _scan_identifier(self) -> Token:
+        line, column = self.line, self.column
+        characters: list[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            characters.append(self._advance())
+        text = "".join(characters)
+        kind = KEYWORD if text in KEYWORDS else IDENT
+        return Token(kind, text, line, column)
+
+    def _scan_system_identifier(self) -> Token:
+        line, column = self.line, self.column
+        characters = [self._advance()]  # the dollar sign
+        while self._peek().isalnum() or self._peek() == "_":
+            characters.append(self._advance())
+        return Token(SYSTEM_IDENT, "".join(characters), line, column)
+
+    def _scan_operator(self) -> Token | None:
+        line, column = self.line, self.column
+        for operator in _MULTI_CHAR_OPERATORS:
+            if self.source.startswith(operator, self.position):
+                self._advance(len(operator))
+                return Token(OPERATOR, operator, line, column)
+        char = self._peek()
+        if char in _SINGLE_CHAR_OPERATORS:
+            return Token(OPERATOR, self._advance(), line, column)
+        return None
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source`` and return the full token list (ending with EOF)."""
+    return list(Lexer(source).tokens())
+
+
+def parse_number(text: str) -> float:
+    """Convert a Verilog-AMS numeric literal (possibly scaled) to a float."""
+    if text and text[-1] in SCALE_FACTORS:
+        return float(text[:-1]) * SCALE_FACTORS[text[-1]]
+    return float(text)

@@ -1,0 +1,94 @@
+"""APB bus model: the peripheral interconnect of the virtual platform.
+
+The paper's digital subsystem is "a MIPS-based CPU ..., a UART and the APB
+bus" (Section V.B).  The bus decodes peripheral addresses, forwards register
+reads/writes to the selected slave and keeps transaction statistics.  Each
+transfer is modelled with the two-phase APB protocol cost (setup + access
+cycles) so that platform-level cycle counts are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BusError
+
+
+class ApbPeripheral:
+    """Interface every APB slave implements (register-level model)."""
+
+    #: Size of the peripheral's register window in bytes.
+    window_size = 0x1000
+
+    def read_register(self, offset: int) -> int:
+        """Read the 32-bit register at byte ``offset``."""
+        raise NotImplementedError
+
+    def write_register(self, offset: int, value: int) -> None:
+        """Write the 32-bit register at byte ``offset``."""
+        raise NotImplementedError
+
+
+@dataclass
+class _Mapping:
+    name: str
+    base: int
+    size: int
+    peripheral: ApbPeripheral
+
+
+class ApbBus:
+    """Address decoder and transaction router for APB slaves."""
+
+    #: Cycles consumed by one APB transfer (setup + access phase).
+    CYCLES_PER_TRANSFER = 2
+
+    def __init__(self, base_address: int = 0x1000_0000) -> None:
+        self.base_address = base_address
+        self._mappings: list[_Mapping] = []
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self.cycles = 0
+
+    # -- construction ---------------------------------------------------------------------
+    def attach(self, name: str, base: int, peripheral: ApbPeripheral, size: int | None = None) -> None:
+        """Map ``peripheral`` at absolute address ``base``."""
+        size = size if size is not None else peripheral.window_size
+        new_mapping = _Mapping(name, base, size, peripheral)
+        for existing in self._mappings:
+            if not (base + size <= existing.base or existing.base + existing.size <= base):
+                raise BusError(
+                    f"peripheral {name!r} at {base:#010x} overlaps {existing.name!r}"
+                )
+        self._mappings.append(new_mapping)
+
+    def peripherals(self) -> list[str]:
+        """Names of the attached peripherals."""
+        return [mapping.name for mapping in self._mappings]
+
+    # -- decoding --------------------------------------------------------------------------
+    def _decode(self, address: int) -> tuple[_Mapping, int]:
+        for mapping in self._mappings:
+            if mapping.base <= address < mapping.base + mapping.size:
+                return mapping, address - mapping.base
+        raise BusError(f"no peripheral mapped at address {address:#010x}")
+
+    # -- transactions -----------------------------------------------------------------------
+    def read(self, address: int) -> int:
+        """Perform an APB read transfer."""
+        mapping, offset = self._decode(address)
+        self.read_transactions += 1
+        self.cycles += self.CYCLES_PER_TRANSFER
+        return mapping.peripheral.read_register(offset) & 0xFFFFFFFF
+
+    def write(self, address: int, value: int) -> None:
+        """Perform an APB write transfer."""
+        mapping, offset = self._decode(address)
+        self.write_transactions += 1
+        self.cycles += self.CYCLES_PER_TRANSFER
+        mapping.peripheral.write_register(offset, value & 0xFFFFFFFF)
+
+    @property
+    def transaction_count(self) -> int:
+        """Total number of bus transfers performed."""
+        return self.read_transactions + self.write_transactions

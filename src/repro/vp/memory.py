@@ -1,0 +1,72 @@
+"""Byte-addressable RAM for the virtual platform (code + data memory)."""
+
+from __future__ import annotations
+
+from ..errors import BusError
+
+
+class Memory:
+    """A little-endian RAM of fixed size.
+
+    The CPU fetches instructions and performs data accesses here; the
+    ``load_image`` helper installs an assembled firmware image at its base
+    address.
+    """
+
+    def __init__(self, size: int = 64 * 1024, base: int = 0) -> None:
+        if size <= 0 or size % 4 != 0:
+            raise ValueError("memory size must be a positive multiple of 4")
+        self.base = base
+        self.size = size
+        self._data = bytearray(size)
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- address checking --------------------------------------------------------------
+    def _offset(self, address: int, width: int) -> int:
+        offset = address - self.base
+        if offset < 0 or offset + width > self.size:
+            raise BusError(
+                f"memory access at {address:#010x} (width {width}) is outside "
+                f"the {self.size}-byte RAM at {self.base:#010x}"
+            )
+        return offset
+
+    # -- word access ----------------------------------------------------------------------
+    def read_word(self, address: int) -> int:
+        """Read a 32-bit little-endian word."""
+        offset = self._offset(address, 4)
+        self.read_count += 1
+        return int.from_bytes(self._data[offset : offset + 4], "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a 32-bit little-endian word."""
+        offset = self._offset(address, 4)
+        self.write_count += 1
+        self._data[offset : offset + 4] = int(value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    # -- byte access -----------------------------------------------------------------------
+    def read_byte(self, address: int) -> int:
+        """Read one byte."""
+        offset = self._offset(address, 1)
+        self.read_count += 1
+        return self._data[offset]
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one byte."""
+        offset = self._offset(address, 1)
+        self.write_count += 1
+        self._data[offset] = value & 0xFF
+
+    # -- bulk helpers ------------------------------------------------------------------------
+    def load_image(self, image: bytes, address: int | None = None) -> None:
+        """Copy a binary image into memory (default: at the RAM base)."""
+        address = self.base if address is None else address
+        offset = self._offset(address, len(image))
+        self._data[offset : offset + len(image)] = image
+
+    def clear(self) -> None:
+        """Zero the whole memory."""
+        self._data = bytearray(self.size)
+        self.read_count = 0
+        self.write_count = 0

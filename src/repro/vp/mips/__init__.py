@@ -1,0 +1,29 @@
+"""MIPS-subset processor: ISA definitions, assembler and instruction-set simulator."""
+
+from .assembler import AssembledProgram, Assembler, assemble
+from .cpu import MipsCpu
+from .isa import (
+    INSTRUCTIONS,
+    REGISTER_NAMES,
+    encode_i,
+    encode_j,
+    encode_r,
+    register_number,
+    sign_extend_16,
+    to_signed_32,
+)
+
+__all__ = [
+    "AssembledProgram",
+    "Assembler",
+    "INSTRUCTIONS",
+    "MipsCpu",
+    "REGISTER_NAMES",
+    "assemble",
+    "encode_i",
+    "encode_j",
+    "encode_r",
+    "register_number",
+    "sign_extend_16",
+    "to_signed_32",
+]

@@ -1,0 +1,247 @@
+"""MIPS instruction-set simulator executing inside the discrete-event kernel.
+
+The CPU is the master of the virtual platform: it fetches 32-bit instructions
+from memory, executes them one per clock period, and issues loads/stores
+either to its tightly coupled RAM or — for addresses inside the peripheral
+window — to the APB bus.  Branch delay slots are not modelled (the assembler
+never schedules anything useful in them), which keeps the programmer's model
+simple without affecting the platform-level timing picture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import CpuFault
+from ..memory import Memory
+from .isa import WORD_MASK, sign_extend_16, to_signed_32
+
+
+class MipsCpu:
+    """A functional MIPS-I subset core.
+
+    Parameters
+    ----------
+    memory:
+        Backing RAM holding code and data.
+    bus_read / bus_write:
+        Callables used for addresses at or above ``peripheral_base``.
+    peripheral_base:
+        Start of the memory-mapped peripheral window.
+    """
+
+    def __init__(
+        self,
+        memory: Memory,
+        bus_read: Callable[[int], int] | None = None,
+        bus_write: Callable[[int, int], None] | None = None,
+        peripheral_base: int = 0x1000_0000,
+    ) -> None:
+        self.memory = memory
+        self.bus_read = bus_read
+        self.bus_write = bus_write
+        self.peripheral_base = peripheral_base
+        self.registers = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.pc = 0
+        self.instruction_count = 0
+        self.load_count = 0
+        self.store_count = 0
+        self.halted = False
+
+    # -- register helpers ---------------------------------------------------------------
+    def read_register(self, index: int) -> int:
+        """Read a register (register 0 is hard-wired to zero)."""
+        return 0 if index == 0 else self.registers[index] & WORD_MASK
+
+    def write_register(self, index: int, value: int) -> None:
+        """Write a register (writes to register 0 are ignored)."""
+        if index != 0:
+            self.registers[index] = value & WORD_MASK
+
+    def reset(self, pc: int = 0) -> None:
+        """Reset architectural state and set the program counter."""
+        self.registers = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.pc = pc
+        self.instruction_count = 0
+        self.load_count = 0
+        self.store_count = 0
+        self.halted = False
+
+    # -- memory access ---------------------------------------------------------------------
+    def _load_word(self, address: int) -> int:
+        self.load_count += 1
+        if address >= self.peripheral_base:
+            if self.bus_read is None:
+                raise CpuFault(f"load from unmapped peripheral address {address:#x}")
+            return self.bus_read(address) & WORD_MASK
+        return self.memory.read_word(address)
+
+    def _store_word(self, address: int, value: int) -> None:
+        self.store_count += 1
+        if address >= self.peripheral_base:
+            if self.bus_write is None:
+                raise CpuFault(f"store to unmapped peripheral address {address:#x}")
+            self.bus_write(address, value & WORD_MASK)
+            return
+        self.memory.write_word(address, value)
+
+    def _load_byte(self, address: int, signed: bool) -> int:
+        self.load_count += 1
+        if address >= self.peripheral_base:
+            if self.bus_read is None:
+                raise CpuFault(f"load from unmapped peripheral address {address:#x}")
+            value = self.bus_read(address & ~0x3) >> (8 * (address & 0x3))
+            value &= 0xFF
+        else:
+            value = self.memory.read_byte(address)
+        if signed and value & 0x80:
+            value -= 0x100
+        return value & WORD_MASK
+
+    def _store_byte(self, address: int, value: int) -> None:
+        self.store_count += 1
+        if address >= self.peripheral_base:
+            if self.bus_write is None:
+                raise CpuFault(f"store to unmapped peripheral address {address:#x}")
+            self.bus_write(address, value & 0xFF)
+            return
+        self.memory.write_byte(address, value & 0xFF)
+
+    # -- execution -----------------------------------------------------------------------------
+    def step(self) -> None:
+        """Fetch, decode and execute one instruction."""
+        if self.halted:
+            return
+        instruction = self.memory.read_word(self.pc)
+        next_pc = (self.pc + 4) & WORD_MASK
+        opcode = (instruction >> 26) & 0x3F
+
+        if instruction == 0:
+            pass  # nop
+        elif opcode == 0x00:
+            next_pc = self._execute_r_type(instruction, next_pc)
+        elif opcode in (0x02, 0x03):
+            target = (self.pc & 0xF000_0000) | ((instruction & 0x03FF_FFFF) << 2)
+            if opcode == 0x03:
+                self.write_register(31, next_pc)
+            next_pc = target
+        else:
+            next_pc = self._execute_i_type(opcode, instruction, next_pc)
+
+        self.pc = next_pc
+        self.instruction_count += 1
+
+    def _execute_r_type(self, instruction: int, next_pc: int) -> int:
+        rs = (instruction >> 21) & 0x1F
+        rt = (instruction >> 16) & 0x1F
+        rd = (instruction >> 11) & 0x1F
+        shamt = (instruction >> 6) & 0x1F
+        funct = instruction & 0x3F
+        s = self.read_register(rs)
+        t = self.read_register(rt)
+
+        if funct == 0x00:  # sll
+            self.write_register(rd, t << shamt)
+        elif funct == 0x02:  # srl
+            self.write_register(rd, t >> shamt)
+        elif funct == 0x03:  # sra
+            self.write_register(rd, to_signed_32(t) >> shamt)
+        elif funct == 0x08:  # jr
+            return s
+        elif funct == 0x09:  # jalr
+            self.write_register(rd if rd else 31, next_pc)
+            return s
+        elif funct in (0x20, 0x21):  # add/addu
+            self.write_register(rd, s + t)
+        elif funct in (0x22, 0x23):  # sub/subu
+            self.write_register(rd, s - t)
+        elif funct == 0x24:
+            self.write_register(rd, s & t)
+        elif funct == 0x25:
+            self.write_register(rd, s | t)
+        elif funct == 0x26:
+            self.write_register(rd, s ^ t)
+        elif funct == 0x27:
+            self.write_register(rd, ~(s | t))
+        elif funct == 0x2A:  # slt
+            self.write_register(rd, 1 if to_signed_32(s) < to_signed_32(t) else 0)
+        elif funct == 0x2B:  # sltu
+            self.write_register(rd, 1 if s < t else 0)
+        elif funct in (0x18, 0x19):  # mult/multu
+            if funct == 0x18:
+                product = to_signed_32(s) * to_signed_32(t)
+            else:
+                product = s * t
+            self.lo = product & WORD_MASK
+            self.hi = (product >> 32) & WORD_MASK
+        elif funct in (0x1A, 0x1B):  # div/divu
+            if t == 0:
+                self.lo, self.hi = 0, 0
+            elif funct == 0x1A:
+                self.lo = int(to_signed_32(s) / to_signed_32(t)) & WORD_MASK
+                self.hi = (to_signed_32(s) - int(to_signed_32(s) / to_signed_32(t)) * to_signed_32(t)) & WORD_MASK
+            else:
+                self.lo = (s // t) & WORD_MASK
+                self.hi = (s % t) & WORD_MASK
+        elif funct == 0x10:  # mfhi
+            self.write_register(rd, self.hi)
+        elif funct == 0x12:  # mflo
+            self.write_register(rd, self.lo)
+        else:
+            raise CpuFault(
+                f"unimplemented R-type funct {funct:#04x} at pc {self.pc:#010x}"
+            )
+        return next_pc
+
+    def _execute_i_type(self, opcode: int, instruction: int, next_pc: int) -> int:
+        rs = (instruction >> 21) & 0x1F
+        rt = (instruction >> 16) & 0x1F
+        immediate = instruction & 0xFFFF
+        signed = sign_extend_16(immediate)
+        s = self.read_register(rs)
+
+        if opcode == 0x08 or opcode == 0x09:  # addi/addiu
+            self.write_register(rt, s + signed)
+        elif opcode == 0x0A:  # slti
+            self.write_register(rt, 1 if to_signed_32(s) < signed else 0)
+        elif opcode == 0x0B:  # sltiu
+            self.write_register(rt, 1 if s < (signed & WORD_MASK) else 0)
+        elif opcode == 0x0C:
+            self.write_register(rt, s & immediate)
+        elif opcode == 0x0D:
+            self.write_register(rt, s | immediate)
+        elif opcode == 0x0E:
+            self.write_register(rt, s ^ immediate)
+        elif opcode == 0x0F:  # lui
+            self.write_register(rt, immediate << 16)
+        elif opcode == 0x23:  # lw
+            self.write_register(rt, self._load_word((s + signed) & WORD_MASK))
+        elif opcode == 0x20:  # lb
+            self.write_register(rt, self._load_byte((s + signed) & WORD_MASK, signed=True))
+        elif opcode == 0x24:  # lbu
+            self.write_register(rt, self._load_byte((s + signed) & WORD_MASK, signed=False))
+        elif opcode == 0x2B:  # sw
+            self._store_word((s + signed) & WORD_MASK, self.read_register(rt))
+        elif opcode == 0x28:  # sb
+            self._store_byte((s + signed) & WORD_MASK, self.read_register(rt))
+        elif opcode == 0x04:  # beq
+            if s == self.read_register(rt):
+                return (self.pc + 4 + (signed << 2)) & WORD_MASK
+        elif opcode == 0x05:  # bne
+            if s != self.read_register(rt):
+                return (self.pc + 4 + (signed << 2)) & WORD_MASK
+        elif opcode == 0x06:  # blez
+            if to_signed_32(s) <= 0:
+                return (self.pc + 4 + (signed << 2)) & WORD_MASK
+        elif opcode == 0x07:  # bgtz
+            if to_signed_32(s) > 0:
+                return (self.pc + 4 + (signed << 2)) & WORD_MASK
+        else:
+            raise CpuFault(
+                f"unimplemented opcode {opcode:#04x} at pc {self.pc:#010x}"
+            )
+        return next_pc

@@ -1,0 +1,134 @@
+"""MIPS-I subset: register names, instruction formats and encodings.
+
+The virtual platform's CPU executes "assembly instructions contained in the
+memory" (paper Section V.B).  The subset implemented here covers the
+arithmetic, logical, memory-access, branch and jump instructions a polling
+firmware needs; encodings follow the classic MIPS32 R-/I-/J-type formats so
+that programs are stored in memory as real 32-bit machine words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Architectural register aliases, index 0..31.
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Reverse map from alias (and plain number) to register index.
+REGISTER_INDEX = {name: index for index, name in enumerate(REGISTER_NAMES)}
+REGISTER_INDEX.update({str(index): index for index in range(32)})
+
+WORD_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Description of one mnemonic: its format and fixed encoding fields."""
+
+    mnemonic: str
+    format: str  # "R", "I", "J" or a pseudo-format handled by the assembler
+    opcode: int
+    funct: int = 0
+
+
+#: R-type instructions (opcode 0, selected by the funct field).
+R_TYPE = {
+    "sll": InstructionSpec("sll", "R", 0x00, 0x00),
+    "srl": InstructionSpec("srl", "R", 0x00, 0x02),
+    "sra": InstructionSpec("sra", "R", 0x00, 0x03),
+    "jr": InstructionSpec("jr", "R", 0x00, 0x08),
+    "jalr": InstructionSpec("jalr", "R", 0x00, 0x09),
+    "addu": InstructionSpec("addu", "R", 0x00, 0x21),
+    "add": InstructionSpec("add", "R", 0x00, 0x20),
+    "subu": InstructionSpec("subu", "R", 0x00, 0x23),
+    "sub": InstructionSpec("sub", "R", 0x00, 0x22),
+    "and": InstructionSpec("and", "R", 0x00, 0x24),
+    "or": InstructionSpec("or", "R", 0x00, 0x25),
+    "xor": InstructionSpec("xor", "R", 0x00, 0x26),
+    "nor": InstructionSpec("nor", "R", 0x00, 0x27),
+    "slt": InstructionSpec("slt", "R", 0x00, 0x2A),
+    "sltu": InstructionSpec("sltu", "R", 0x00, 0x2B),
+    "mult": InstructionSpec("mult", "R", 0x00, 0x18),
+    "multu": InstructionSpec("multu", "R", 0x00, 0x19),
+    "div": InstructionSpec("div", "R", 0x00, 0x1A),
+    "divu": InstructionSpec("divu", "R", 0x00, 0x1B),
+    "mfhi": InstructionSpec("mfhi", "R", 0x00, 0x10),
+    "mflo": InstructionSpec("mflo", "R", 0x00, 0x12),
+}
+
+#: I-type instructions (immediate, load/store, branch).
+I_TYPE = {
+    "addi": InstructionSpec("addi", "I", 0x08),
+    "addiu": InstructionSpec("addiu", "I", 0x09),
+    "slti": InstructionSpec("slti", "I", 0x0A),
+    "sltiu": InstructionSpec("sltiu", "I", 0x0B),
+    "andi": InstructionSpec("andi", "I", 0x0C),
+    "ori": InstructionSpec("ori", "I", 0x0D),
+    "xori": InstructionSpec("xori", "I", 0x0E),
+    "lui": InstructionSpec("lui", "I", 0x0F),
+    "lw": InstructionSpec("lw", "I", 0x23),
+    "lb": InstructionSpec("lb", "I", 0x20),
+    "lbu": InstructionSpec("lbu", "I", 0x24),
+    "sw": InstructionSpec("sw", "I", 0x2B),
+    "sb": InstructionSpec("sb", "I", 0x28),
+    "beq": InstructionSpec("beq", "I", 0x04),
+    "bne": InstructionSpec("bne", "I", 0x05),
+    "blez": InstructionSpec("blez", "I", 0x06),
+    "bgtz": InstructionSpec("bgtz", "I", 0x07),
+}
+
+#: J-type instructions.
+J_TYPE = {
+    "j": InstructionSpec("j", "J", 0x02),
+    "jal": InstructionSpec("jal", "J", 0x03),
+}
+
+#: Every hardware mnemonic known to the assembler and the ISS.
+INSTRUCTIONS = {**R_TYPE, **I_TYPE, **J_TYPE}
+
+#: Assembler pseudo-instructions expanded into the hardware subset.
+PSEUDO_INSTRUCTIONS = ("nop", "move", "li", "la", "b", "bgt", "blt", "bge", "ble")
+
+
+def encode_r(funct: int, rs: int, rt: int, rd: int, shamt: int = 0) -> int:
+    """Encode an R-type instruction word."""
+    return ((rs & 0x1F) << 21) | ((rt & 0x1F) << 16) | ((rd & 0x1F) << 11) | (
+        (shamt & 0x1F) << 6
+    ) | (funct & 0x3F)
+
+
+def encode_i(opcode: int, rs: int, rt: int, immediate: int) -> int:
+    """Encode an I-type instruction word (immediate truncated to 16 bits)."""
+    return ((opcode & 0x3F) << 26) | ((rs & 0x1F) << 21) | ((rt & 0x1F) << 16) | (
+        immediate & 0xFFFF
+    )
+
+
+def encode_j(opcode: int, target: int) -> int:
+    """Encode a J-type instruction word (target is a word address)."""
+    return ((opcode & 0x3F) << 26) | (target & 0x03FFFFFF)
+
+
+def sign_extend_16(value: int) -> int:
+    """Sign-extend a 16-bit immediate to a Python int."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def to_signed_32(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def register_number(name: str) -> int:
+    """Resolve ``$t0`` / ``$8`` / ``t0`` to a register index."""
+    text = name.strip().lstrip("$").lower()
+    if text not in REGISTER_INDEX:
+        raise KeyError(f"unknown register {name!r}")
+    return REGISTER_INDEX[text]

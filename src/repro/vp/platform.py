@@ -1,0 +1,285 @@
+"""The smart-system virtual platform (paper Figure 1 and Section V.B).
+
+:class:`SmartSystemPlatform` assembles the digital subsystem — a MIPS CPU
+executing firmware from RAM, an APB bus, a UART and the ADC bridge — on top
+of the discrete-event kernel, and offers one ``attach_analog_*`` method per
+analog integration style evaluated in Table III:
+
+* ``attach_analog_python`` — the generated C++/Python model called directly
+  (the paper's pure-C++ integration);
+* ``attach_analog_de`` — the generated model wrapped as a SystemC-DE module;
+* ``attach_analog_tdf`` — the generated model inside a TDF cluster bridged to
+  the DE kernel;
+* ``attach_analog_eln`` — the conservative ELN solver embedded in the kernel;
+* ``attach_analog_cosim`` — co-simulation with the reference Verilog-AMS
+  engine through the marshalled bridge (the pre-abstraction configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.codegen.python_backend import compile_model
+from ..core.signalflow import SignalFlowModel
+from ..errors import PlatformError
+from ..network.circuit import Circuit
+from ..sim.ams import ReferenceAmsSimulator
+from ..sim.cosim import AnalogCosimServer, CoSimulationBridge
+from ..sim.de import Kernel, Module, PeriodicTicker, Signal
+from ..sim.eln import ElnModel
+from ..sim.integration import (
+    DeSignalFlowModule,
+    DeSourceModule,
+    ElnDeModule,
+    TdfDeBridge,
+    TdfSignalFlowModule,
+    TdfSourceModule,
+)
+from ..sim.tdf import TdfCluster, TdfModule
+from .adc_bridge import AdcBridge
+from .apb import ApbBus
+from .firmware import default_firmware
+from .memory import Memory
+from .mips.assembler import assemble
+from .mips.cpu import MipsCpu
+from .uart import Uart
+
+Stimuli = Mapping[str, Callable[[float], float]]
+
+PERIPHERAL_BASE = 0x1000_0000
+UART_BASE = PERIPHERAL_BASE + 0x0000
+ADC_BASE = PERIPHERAL_BASE + 0x1000
+
+
+@dataclass
+class PlatformRunResult:
+    """Statistics collected by :meth:`SmartSystemPlatform.run`."""
+
+    simulated_time: float
+    instructions: int
+    bus_transactions: int
+    uart_output: str
+    analog_samples: int
+    crossings_reported: int
+    analog_style: str
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class _AdcSampler(Module):
+    """Publishes the value of a discrete-event signal into the ADC bridge."""
+
+    def __init__(self, kernel: Kernel, name: str, signal: Signal, adc: AdcBridge, timestep: float) -> None:
+        super().__init__(kernel, name)
+        self.watched = signal
+        self.adc = adc
+        self._ticker = PeriodicTicker(kernel, f"{name}.tick", timestep, self._sample)
+
+    def _sample(self, now: float) -> None:
+        # Defer three deltas: stimulus update, analog module update, then read.
+        self.kernel._schedule_delta(
+            lambda: self.kernel._schedule_delta(
+                lambda: self.kernel._schedule_delta(
+                    lambda: self.adc.push_sample(self.watched.read())
+                )
+            )
+        )
+
+
+class _TdfAdcSink(TdfModule):
+    """TDF sink pushing every sample into the ADC bridge."""
+
+    def __init__(self, name: str, adc: AdcBridge) -> None:
+        super().__init__(name)
+        self.inp = self.in_port("in")
+        self.adc = adc
+
+    def processing(self) -> None:
+        self.adc.push_sample(self.inp.read())
+
+
+class SmartSystemPlatform:
+    """Digital virtual platform with a pluggable analog subsystem."""
+
+    def __init__(
+        self,
+        cpu_clock_hz: float = 20e6,
+        analog_timestep: float = 50e-9,
+        firmware: str | None = None,
+        ram_size: int = 64 * 1024,
+        uart_baud: int = 115200,
+    ) -> None:
+        self.kernel = Kernel()
+        self.analog_timestep = float(analog_timestep)
+        self.cpu_clock_hz = float(cpu_clock_hz)
+        self.cpu_period = 1.0 / float(cpu_clock_hz)
+
+        self.memory = Memory(size=ram_size, base=0)
+        self.bus = ApbBus(PERIPHERAL_BASE)
+        self.uart = Uart(baud_rate=uart_baud)
+        self.adc = AdcBridge()
+        self.bus.attach("uart0", UART_BASE, self.uart)
+        self.bus.attach("adc0", ADC_BASE, self.adc)
+
+        self.firmware_source = firmware if firmware is not None else default_firmware()
+        self.program = assemble(self.firmware_source)
+        self.memory.load_image(self.program.to_bytes())
+
+        self.cpu = MipsCpu(
+            self.memory,
+            bus_read=self.bus.read,
+            bus_write=self.bus.write,
+            peripheral_base=PERIPHERAL_BASE,
+        )
+        self._cpu_ticker = PeriodicTicker(
+            self.kernel, "cpu.clock", self.cpu_period, self._cpu_step
+        )
+
+        self.analog_style: str | None = None
+        self._analog_modules: list[object] = []
+
+    # -- digital side -----------------------------------------------------------------------
+    def _cpu_step(self, now: float) -> None:
+        self.cpu.step()
+
+    # -- analog attachment --------------------------------------------------------------------
+    def _ensure_unattached(self) -> None:
+        if self.analog_style is not None:
+            raise PlatformError(
+                f"an analog subsystem ({self.analog_style!r}) is already attached"
+            )
+
+    def attach_analog_python(self, model: "SignalFlowModel | type | object", stimuli: Stimuli) -> None:
+        """Integrate the generated model as plain code called every timestep."""
+        self._ensure_unattached()
+        instance = _instantiate(model)
+        input_names = list(instance.INPUTS)
+        waveforms = [stimuli[name] for name in input_names]
+        single_output = len(instance.OUTPUTS) == 1
+
+        def tick(now: float) -> None:
+            result = instance.step(*[w(now) for w in waveforms], now)
+            self.adc.push_sample(result if single_output else result[0])
+
+        ticker = PeriodicTicker(self.kernel, "analog.cpp", self.analog_timestep, tick)
+        self._analog_modules.append(ticker)
+        self.analog_style = "python"
+
+    def attach_analog_de(self, model: "SignalFlowModel | type | object", stimuli: Stimuli) -> None:
+        """Integrate the generated model as a SystemC-DE style module."""
+        self._ensure_unattached()
+        instance = _instantiate(model)
+        sources = {
+            name: DeSourceModule(self.kernel, f"src_{name}", stimuli[name], self.analog_timestep)
+            for name in instance.INPUTS
+        }
+        device = DeSignalFlowModule(
+            self.kernel,
+            "analog.de",
+            instance,
+            {name: source.out for name, source in sources.items()},
+        )
+        sampler = _AdcSampler(
+            self.kernel, "adc.sampler", device.output(), self.adc, self.analog_timestep
+        )
+        self._analog_modules.extend([*sources.values(), device, sampler])
+        self.analog_style = "systemc_de"
+
+    def attach_analog_tdf(self, model: "SignalFlowModel | type | object", stimuli: Stimuli) -> None:
+        """Integrate the generated model as a TDF cluster bridged to the DE kernel."""
+        self._ensure_unattached()
+        instance = _instantiate(model)
+        cluster = TdfCluster("analog.tdf")
+        device = cluster.add(TdfSignalFlowModule("dut", instance))
+        for name in instance.INPUTS:
+            source = cluster.add(TdfSourceModule(f"src_{name}", stimuli[name], self.analog_timestep))
+            cluster.connect(source.out, device.inputs[name])
+        sink = cluster.add(_TdfAdcSink("adc_sink", self.adc))
+        cluster.connect(device.outputs[instance.OUTPUTS[0]], sink.inp)
+        bridge = TdfDeBridge(self.kernel, "analog.tdf_bridge", cluster)
+        self._analog_modules.extend([cluster, bridge])
+        self.analog_style = "systemc_tdf"
+
+    def attach_analog_eln(self, circuit: Circuit, stimuli: Stimuli, output: str) -> None:
+        """Integrate the conservative ELN solver."""
+        self._ensure_unattached()
+        model = ElnModel(circuit, self.analog_timestep)
+        sources = {
+            name: DeSourceModule(self.kernel, f"src_{name}", stimuli[name], self.analog_timestep)
+            for name in model.inputs
+        }
+        device = ElnDeModule(
+            self.kernel,
+            "analog.eln",
+            model,
+            {name: source.out for name, source in sources.items()},
+            observed=[output],
+        )
+        sampler = _AdcSampler(
+            self.kernel, "adc.sampler", device.output(output), self.adc, self.analog_timestep
+        )
+        self._analog_modules.extend([*sources.values(), device, sampler])
+        self.analog_style = "systemc_ams_eln"
+
+    def attach_analog_cosim(
+        self,
+        circuit: "Circuit | str",
+        stimuli: Stimuli,
+        output: str,
+        oversampling: int = 2,
+        solver_iterations: int = 2,
+    ) -> None:
+        """Integrate the original Verilog-AMS model through co-simulation."""
+        self._ensure_unattached()
+        simulator = ReferenceAmsSimulator(
+            circuit,
+            self.analog_timestep,
+            oversampling=oversampling,
+            solver_iterations=solver_iterations,
+        )
+        server = AnalogCosimServer(simulator, observed_quantities=[output])
+        sources = {
+            name: DeSourceModule(self.kernel, f"src_{name}", stimuli[name], self.analog_timestep)
+            for name in simulator.inputs
+        }
+        output_signal = Signal(self.kernel, 0.0, "cosim.out")
+        bridge = CoSimulationBridge(
+            self.kernel,
+            "analog.cosim",
+            server,
+            input_signals={name: source.out for name, source in sources.items()},
+            output_signals={output: output_signal},
+            timestep=self.analog_timestep,
+        )
+        sampler = _AdcSampler(
+            self.kernel, "adc.sampler", output_signal, self.adc, self.analog_timestep
+        )
+        self._analog_modules.extend([*sources.values(), bridge, sampler])
+        self.analog_style = "verilog_ams_cosim"
+
+    # -- execution ----------------------------------------------------------------------------------
+    def run(self, duration: float) -> PlatformRunResult:
+        """Simulate the platform for ``duration`` seconds of virtual time."""
+        if self.analog_style is None:
+            raise PlatformError(
+                "attach an analog subsystem before running the platform"
+            )
+        self.kernel.run(duration)
+        counter_value = self.memory.read_word(0x0000_F000)
+        return PlatformRunResult(
+            simulated_time=self.kernel.now,
+            instructions=self.cpu.instruction_count,
+            bus_transactions=self.bus.transaction_count,
+            uart_output=self.uart.output_text(),
+            analog_samples=self.adc.sample_count,
+            crossings_reported=counter_value,
+            analog_style=self.analog_style,
+        )
+
+
+def _instantiate(model: "SignalFlowModel | type | object"):
+    if isinstance(model, SignalFlowModel):
+        return compile_model(model)()
+    if isinstance(model, type):
+        return model()
+    return model

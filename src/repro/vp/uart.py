@@ -1,0 +1,78 @@
+"""UART peripheral of the virtual platform.
+
+A minimal register-level UART: the firmware polls the status register and
+writes characters to the transmit register; transmitted bytes are collected so
+that tests and examples can observe the software's behaviour.  A configurable
+transmit time models the serialisation delay of a real 8N1 link.
+"""
+
+from __future__ import annotations
+
+from .apb import ApbPeripheral
+
+#: Register offsets.
+TX_DATA = 0x00
+STATUS = 0x04
+RX_DATA = 0x08
+BAUD_DIV = 0x0C
+
+#: STATUS bits.
+STATUS_TX_READY = 0x1
+STATUS_RX_VALID = 0x2
+
+
+class Uart(ApbPeripheral):
+    """Register-level UART with a transmit log and an optional receive queue."""
+
+    def __init__(self, name: str = "uart0", baud_rate: int = 115200) -> None:
+        self.name = name
+        self.baud_rate = baud_rate
+        self.transmitted: list[int] = []
+        self._receive_queue: list[int] = []
+        self.tx_count = 0
+        self.rx_count = 0
+        self.baud_divisor = 0
+
+    # -- register interface ------------------------------------------------------------------
+    def read_register(self, offset: int) -> int:
+        if offset == STATUS:
+            status = STATUS_TX_READY
+            if self._receive_queue:
+                status |= STATUS_RX_VALID
+            return status
+        if offset == RX_DATA:
+            if self._receive_queue:
+                self.rx_count += 1
+                return self._receive_queue.pop(0)
+            return 0
+        if offset == TX_DATA:
+            return self.transmitted[-1] if self.transmitted else 0
+        if offset == BAUD_DIV:
+            return self.baud_divisor
+        return 0
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == TX_DATA:
+            self.transmitted.append(value & 0xFF)
+            self.tx_count += 1
+        elif offset == BAUD_DIV:
+            self.baud_divisor = value & 0xFFFF
+
+    # -- host-side helpers ----------------------------------------------------------------------
+    def receive(self, data: bytes | str) -> None:
+        """Queue bytes for the firmware to read from RX_DATA."""
+        if isinstance(data, str):
+            data = data.encode("ascii")
+        self._receive_queue.extend(data)
+
+    def output_bytes(self) -> bytes:
+        """Everything the firmware transmitted so far."""
+        return bytes(self.transmitted)
+
+    def output_text(self) -> str:
+        """Transmitted bytes decoded as ASCII (errors replaced)."""
+        return self.output_bytes().decode("ascii", errors="replace")
+
+    def character_time(self) -> float:
+        """Seconds needed to serialise one 8N1 character at the configured baud rate."""
+        return 10.0 / self.baud_rate

@@ -1,0 +1,179 @@
+"""Unit tests for the expression AST (construction, traversal, rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import (
+    BinaryOp,
+    Call,
+    Conditional,
+    Constant,
+    Derivative,
+    Integral,
+    Previous,
+    UnaryOp,
+    Variable,
+    rebuild,
+    substitute,
+    substitute_previous,
+    to_string,
+    transform,
+)
+
+
+class TestConstruction:
+    def test_constant_stores_float(self):
+        assert Constant(3).value == 3.0
+
+    def test_variable_requires_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_previous_requires_name(self):
+        with pytest.raises(ValueError):
+            Previous("")
+
+    def test_binary_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinaryOp("%", Constant(1), Constant(2))
+
+    def test_unary_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnaryOp("~", Constant(1))
+
+    def test_call_rejects_unknown_function(self):
+        with pytest.raises(ValueError):
+            Call("frobnicate", (Constant(1),))
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        left = BinaryOp("+", Variable("x"), Constant(1))
+        right = BinaryOp("+", Variable("x"), Constant(1))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_operator_not_equal(self):
+        assert BinaryOp("+", Variable("x"), Constant(1)) != BinaryOp(
+            "-", Variable("x"), Constant(1)
+        )
+
+    def test_variable_vs_previous_not_equal(self):
+        assert Variable("x") != Previous("x")
+
+    def test_usable_in_sets(self):
+        expressions = {Variable("a"), Variable("a"), Variable("b")}
+        assert len(expressions) == 2
+
+
+class TestQueries:
+    def test_variables_collects_names(self):
+        expr = BinaryOp("*", Variable("V(a)"), BinaryOp("+", Variable("I(b)"), Constant(2)))
+        assert expr.variables() == {"V(a)", "I(b)"}
+
+    def test_previous_values(self):
+        expr = BinaryOp("+", Previous("V(a)"), Variable("u"))
+        assert expr.previous_values() == {"V(a)"}
+
+    def test_contains_variable(self):
+        expr = Call("sin", (Variable("x"),))
+        assert expr.contains_variable("x")
+        assert not expr.contains_variable("y")
+
+    def test_has_derivative_flag(self):
+        assert Derivative(Variable("x")).has_derivative()
+        assert not Variable("x").has_derivative()
+        assert BinaryOp("+", Constant(1), Derivative(Variable("x"))).has_derivative()
+
+    def test_has_integral_flag(self):
+        assert Integral(Variable("x")).has_integral()
+        assert not Constant(1).has_integral()
+
+    def test_size_and_depth(self):
+        expr = BinaryOp("+", Variable("x"), BinaryOp("*", Constant(2), Variable("y")))
+        assert expr.size() == 5
+        assert expr.depth() == 3
+
+    def test_walk_visits_every_node(self):
+        expr = Conditional(Variable("c"), Constant(1), Constant(2))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds.count("Constant") == 2
+        assert "Conditional" in kinds
+
+
+class TestOperatorOverloads:
+    def test_addition_with_number(self):
+        expr = Variable("x") + 1
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert expr.rhs == Constant(1)
+
+    def test_reflected_multiplication(self):
+        expr = 2.0 * Variable("x")
+        assert expr.op == "*"
+        assert expr.lhs == Constant(2.0)
+
+    def test_division_and_power(self):
+        assert (Variable("x") / 4).op == "/"
+        assert (Variable("x") ** 2).op == "**"
+
+    def test_negation(self):
+        expr = -Variable("x")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "-"
+
+    def test_unsupported_operand_raises(self):
+        with pytest.raises(TypeError):
+            Variable("x") + "text"
+
+
+class TestTransformAndSubstitute:
+    def test_substitute_replaces_variables(self):
+        expr = BinaryOp("+", Variable("x"), Variable("y"))
+        result = substitute(expr, {"x": Constant(3)})
+        assert result == BinaryOp("+", Constant(3), Variable("y"))
+
+    def test_substitute_previous(self):
+        expr = BinaryOp("+", Previous("x"), Constant(1))
+        result = substitute_previous(expr, {"x": Constant(7)})
+        assert result == BinaryOp("+", Constant(7), Constant(1))
+
+    def test_transform_bottom_up(self):
+        expr = BinaryOp("+", Constant(1), Constant(2))
+
+        def visit(node):
+            if isinstance(node, Constant):
+                return Constant(node.value * 10)
+            return node
+
+        assert transform(expr, visit) == BinaryOp("+", Constant(10), Constant(20))
+
+    def test_rebuild_preserves_type(self):
+        original = Call("min", (Constant(1), Constant(2)))
+        rebuilt = rebuild(original, (Constant(3), Constant(4)))
+        assert isinstance(rebuilt, Call)
+        assert rebuilt.func == "min"
+
+    def test_rebuild_integral_with_initial(self):
+        original = Integral(Variable("x"), Constant(1))
+        rebuilt = rebuild(original, (Variable("y"), Constant(2)))
+        assert rebuilt == Integral(Variable("y"), Constant(2))
+
+
+class TestRendering:
+    def test_simple_infix(self):
+        expr = BinaryOp("+", Variable("a"), BinaryOp("*", Variable("b"), Constant(2)))
+        assert to_string(expr) == "a + b * 2"
+
+    def test_parentheses_for_precedence(self):
+        expr = BinaryOp("*", BinaryOp("+", Variable("a"), Variable("b")), Constant(2))
+        assert to_string(expr) == "(a + b) * 2"
+
+    def test_ddt_and_prev_rendering(self):
+        assert to_string(Derivative(Variable("V(a)"))) == "ddt(V(a))"
+        assert to_string(Previous("V(a)")) == "prev(V(a))"
+
+    def test_conditional_rendering(self):
+        expr = Conditional(BinaryOp(">", Variable("x"), Constant(0)), Constant(1), Constant(2))
+        assert to_string(expr) == "(x > 0 ? 1 : 2)"

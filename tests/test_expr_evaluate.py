@@ -1,0 +1,108 @@
+"""Unit tests for numeric expression evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expr import (
+    BinaryOp,
+    Call,
+    Conditional,
+    Constant,
+    Derivative,
+    Integral,
+    Previous,
+    UnaryOp,
+    Variable,
+    evaluate,
+)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        x = Variable("x")
+        assert evaluate(x + 3, {"x": 2}) == 5.0
+        assert evaluate(x - 3, {"x": 2}) == -1.0
+        assert evaluate(x * 3, {"x": 2}) == 6.0
+        assert evaluate(x / 4, {"x": 2}) == 0.5
+        assert evaluate(x ** 3, {"x": 2}) == 8.0
+
+    def test_unary_operators(self):
+        assert evaluate(UnaryOp("-", Constant(4))) == -4.0
+        assert evaluate(UnaryOp("+", Constant(4))) == 4.0
+        assert evaluate(UnaryOp("!", Constant(0))) == 1.0
+        assert evaluate(UnaryOp("!", Constant(2))) == 0.0
+
+    def test_comparisons_return_zero_or_one(self):
+        assert evaluate(BinaryOp("<", Constant(1), Constant(2))) == 1.0
+        assert evaluate(BinaryOp(">=", Constant(1), Constant(2))) == 0.0
+        assert evaluate(BinaryOp("==", Constant(3), Constant(3))) == 1.0
+        assert evaluate(BinaryOp("!=", Constant(3), Constant(3))) == 0.0
+
+    def test_logical_operators(self):
+        assert evaluate(BinaryOp("&&", Constant(1), Constant(2))) == 1.0
+        assert evaluate(BinaryOp("&&", Constant(1), Constant(0))) == 0.0
+        assert evaluate(BinaryOp("||", Constant(0), Constant(5))) == 1.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(BinaryOp("/", Constant(1), Constant(0)))
+
+
+class TestBindings:
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError, match="unbound variable"):
+            evaluate(Variable("missing"))
+
+    def test_previous_uses_dedicated_mapping(self):
+        expr = BinaryOp("+", Previous("x"), Variable("x"))
+        assert evaluate(expr, {"x": 1.0}, previous={"x": 10.0}) == 11.0
+
+    def test_previous_falls_back_to_bindings(self):
+        assert evaluate(Previous("x"), {"x": 4.0}) == 4.0
+
+    def test_unbound_previous_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Previous("x"), {}, previous={})
+
+
+class TestFunctions:
+    def test_standard_functions(self):
+        assert evaluate(Call("exp", (Constant(0),))) == 1.0
+        assert evaluate(Call("sqrt", (Constant(9),))) == 3.0
+        assert evaluate(Call("abs", (Constant(-2),))) == 2.0
+        assert evaluate(Call("max", (Constant(1), Constant(5)))) == 5.0
+        assert evaluate(Call("ln", (Constant(math.e),))) == pytest.approx(1.0)
+        assert evaluate(Call("log", (Constant(100),))) == pytest.approx(2.0)
+
+    def test_limexp_is_bounded(self):
+        small = evaluate(Call("limexp", (Constant(1.0),)))
+        assert small == pytest.approx(math.e)
+        huge = evaluate(Call("limexp", (Constant(200.0),)))
+        assert math.isfinite(huge)
+
+    def test_custom_function_table(self):
+        result = evaluate(Call("sin", (Constant(0.5),)), functions={"sin": lambda v: 42.0})
+        assert result == 42.0
+
+    def test_math_domain_error_is_wrapped(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Call("sqrt", (Constant(-1.0),)))
+
+
+class TestControlFlowAndOperators:
+    def test_conditional_selects_branch(self):
+        expr = Conditional(Variable("c"), Constant(1), Constant(2))
+        assert evaluate(expr, {"c": 1.0}) == 1.0
+        assert evaluate(expr, {"c": 0.0}) == 2.0
+
+    def test_ddt_cannot_be_evaluated(self):
+        with pytest.raises(EvaluationError, match="discretise"):
+            evaluate(Derivative(Variable("x")), {"x": 1.0})
+
+    def test_idt_cannot_be_evaluated(self):
+        with pytest.raises(EvaluationError):
+            evaluate(Integral(Variable("x")), {"x": 1.0})

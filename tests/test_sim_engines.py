@@ -1,0 +1,220 @@
+"""Tests for the analog engines: ELN, reference AMS, co-simulation, runners."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_rc_filter, rc_filter_source
+from repro.core import abstract_circuit
+from repro.errors import SimulationError
+from repro.metrics import compare_traces, nrmse
+from repro.sim import (
+    AnalogCosimServer,
+    CoSimulationBridge,
+    DeSourceModule,
+    ElnModel,
+    Kernel,
+    ReferenceAmsSimulator,
+    Signal,
+    SineWave,
+    SquareWave,
+    StepSource,
+    Trace,
+    TraceSet,
+    run_de_model,
+    run_eln_model,
+    run_python_model,
+    run_reference_model,
+    run_tdf_model,
+)
+
+DT = 50e-9
+TAU = 5e3 * 25e-9
+
+
+class TestSources:
+    def test_square_wave_levels_and_duty(self):
+        wave = SquareWave(amplitude=2.0, period=1e-3, duty=0.25, offset=1.0)
+        assert wave(0.1e-3) == 3.0
+        assert wave(0.5e-3) == 1.0
+        assert wave(1.1e-3) == 3.0
+
+    def test_square_wave_validation(self):
+        with pytest.raises(ValueError):
+            SquareWave(period=0.0)
+        with pytest.raises(ValueError):
+            SquareWave(duty=1.5)
+
+    def test_sine_and_step(self):
+        sine = SineWave(amplitude=2.0, frequency=1e3)
+        assert sine(0.25e-3) == pytest.approx(2.0)
+        step = StepSource(initial=0.0, final=5.0, step_time=1.0)
+        assert step(0.5) == 0.0
+        assert step(1.5) == 5.0
+
+    def test_piecewise_linear(self):
+        from repro.sim import PiecewiseLinear
+
+        ramp = PiecewiseLinear([(0.0, 0.0), (1.0, 10.0)])
+        assert ramp(0.5) == pytest.approx(5.0)
+        assert ramp(-1.0) == 0.0
+        assert ramp(2.0) == 10.0
+
+
+class TestTrace:
+    def test_append_and_arrays(self):
+        trace = Trace("x")
+        trace.append(1.0, 10.0)
+        trace.append(2.0, 20.0)
+        assert len(trace) == 2
+        assert trace.final_value() == 20.0
+        assert np.allclose(trace.resample(np.array([1.5])), [15.0])
+
+    def test_trace_set(self):
+        traces = TraceSet()
+        traces.add("a").append(0.0, 1.0)
+        assert "a" in traces
+        assert traces.names() == ["a"]
+        assert traces.waveform("a")[0] == 1.0
+
+    def test_nrmse_metric(self):
+        reference = np.array([0.0, 1.0, 2.0, 3.0])
+        assert nrmse(reference, reference) == 0.0
+        shifted = reference + 0.3
+        assert nrmse(reference, shifted) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            nrmse(reference, reference[:2])
+
+
+class TestElnModel:
+    def test_rc_charge_matches_analytic(self, rc1_circuit):
+        model = ElnModel(rc1_circuit, DT)
+        duration = 3 * TAU
+        traces = model.run({"vin": lambda t: 1.0}, duration, ["V(out)"])
+        expected = 1.0 - math.exp(-duration / TAU)
+        assert traces["V(out)"].final_value() == pytest.approx(expected, rel=1e-3)
+
+    def test_set_input_and_value(self, rc1_circuit):
+        model = ElnModel(rc1_circuit, DT)
+        model.set_input("vin", 1.0)
+        model.step()
+        assert model.value("V(vin)") == pytest.approx(1.0, rel=1e-6)
+        assert model.node_voltage("gnd") == 0.0
+        with pytest.raises(SimulationError):
+            model.set_input("nope", 1.0)
+
+    def test_reset(self, rc1_circuit):
+        model = ElnModel(rc1_circuit, DT)
+        model.run({"vin": lambda t: 1.0}, 100 * DT, ["V(out)"])
+        model.reset()
+        assert model.time == 0.0
+        assert model.value("V(out)") == 0.0
+
+
+class TestReferenceSimulator:
+    def test_built_from_vams_source(self):
+        simulator = ReferenceAmsSimulator(rc_filter_source(1), DT)
+        assert simulator.inputs == ["vin"]
+        assert "V(out)" in simulator.quantities()
+
+    def test_accuracy_close_to_analytic(self, rc1_circuit):
+        simulator = ReferenceAmsSimulator(rc1_circuit, DT, oversampling=2)
+        duration = 2 * TAU
+        traces = simulator.run({"vin": lambda t: 1.0}, duration, ["V(out)"])
+        expected = 1.0 - math.exp(-duration / TAU)
+        assert traces["V(out)"].final_value() == pytest.approx(expected, rel=5e-4)
+
+    def test_solver_effort_accounting(self, rc1_circuit):
+        simulator = ReferenceAmsSimulator(
+            rc1_circuit, DT, oversampling=3, solver_iterations=2
+        )
+        simulator.step({"vin": 1.0})
+        assert simulator.step_count == 1
+        assert simulator.solve_count == 6
+
+    def test_parameter_validation(self, rc1_circuit):
+        with pytest.raises(ValueError):
+            ReferenceAmsSimulator(rc1_circuit, DT, oversampling=0)
+        with pytest.raises(ValueError):
+            ReferenceAmsSimulator(rc1_circuit, DT, solver_iterations=0)
+
+
+class TestRunnerEquivalence:
+    """All integration styles of Table I must produce the same waveform."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        circuit = build_rc_filter(1)
+        model = abstract_circuit(circuit, "out", DT)
+        stimuli = {"vin": SquareWave(period=40e-6)}
+        duration = 100e-6
+        reference = run_reference_model(circuit, stimuli, duration, DT, ["V(out)"])
+        return circuit, model, stimuli, duration, reference
+
+    def test_python_runner_accuracy(self, setup):
+        circuit, model, stimuli, duration, reference = setup
+        traces = run_python_model(model, stimuli, duration)
+        assert compare_traces(reference["V(out)"], traces["V(out)"]) < 1e-3
+
+    def test_de_runner_matches_python(self, setup):
+        # The kernels may disagree by one sample on where the square-wave edge
+        # falls (floating-point time at the discontinuity), so the comparison
+        # is a waveform error bound rather than bitwise equality.
+        circuit, model, stimuli, duration, reference = setup
+        python_traces = run_python_model(model, stimuli, duration)
+        de_traces = run_de_model(model, stimuli, duration)
+        assert compare_traces(python_traces["V(out)"], de_traces["V(out)"]) < 2e-3
+
+    def test_tdf_runner_matches_python(self, setup):
+        circuit, model, stimuli, duration, reference = setup
+        python_traces = run_python_model(model, stimuli, duration)
+        tdf_traces = run_tdf_model(model, stimuli, duration)
+        assert compare_traces(python_traces["V(out)"], tdf_traces["V(out)"]) < 2e-3
+
+    def test_eln_runner_accuracy(self, setup):
+        circuit, model, stimuli, duration, reference = setup
+        eln_traces = run_eln_model(circuit, stimuli, duration, DT, ["V(out)"])
+        assert compare_traces(reference["V(out)"], eln_traces["V(out)"]) < 1e-3
+
+
+class TestCoSimulation:
+    def test_server_marshalling_roundtrip(self, rc1_circuit):
+        simulator = ReferenceAmsSimulator(rc1_circuit, DT)
+        server = AnalogCosimServer(simulator, ["V(out)"])
+        request = server.pack_request({"vin": 1.0})
+        response = server.transact(request)
+        observed = server.unpack_response(response)
+        assert set(observed) == {"V(out)"}
+        assert server.transaction_count == 1
+
+    def test_bridge_matches_direct_reference_run(self, rc1_circuit):
+        duration = 50e-6
+        stimulus = SquareWave(period=20e-6)
+        direct = run_reference_model(
+            build_rc_filter(1), {"vin": stimulus}, duration, DT, ["V(out)"]
+        )
+
+        kernel = Kernel()
+        simulator = ReferenceAmsSimulator(rc1_circuit, DT)
+        server = AnalogCosimServer(simulator, ["V(out)"])
+        source = DeSourceModule(kernel, "src", stimulus, DT)
+        output_signal = Signal(kernel, 0.0, "out")
+        CoSimulationBridge(
+            kernel,
+            "bridge",
+            server,
+            {"vin": source.out},
+            {"V(out)": output_signal},
+            DT,
+        )
+        kernel.run(duration)
+        # After the run the analog engine has advanced through the same steps.
+        assert simulator.step_count == direct["V(out)"].values.size
+        # Edge samples may land one step apart between the two runs, so allow
+        # the corresponding small waveform deviation.
+        assert output_signal.read() == pytest.approx(
+            direct["V(out)"].final_value(), rel=1e-2
+        )

@@ -1,0 +1,114 @@
+"""Tests for the Verilog-AMS lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VamsLexerError
+from repro.vams import parse_number, tokenize
+from repro.vams.lexer import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, SYSTEM_IDENT
+
+
+def kinds(source: str) -> list[str]:
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source: str) -> list[str]:
+    return [token.value for token in tokenize(source) if token.kind != EOF]
+
+
+class TestTokens:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("module foo; endmodule")
+        assert [t.kind for t in tokens[:2]] == [KEYWORD, IDENT]
+        assert tokens[0].value == "module"
+
+    def test_contribution_operator(self):
+        assert "<+" in values("V(out) <+ 1.0;")
+
+    def test_multi_character_operators_are_greedy(self):
+        assert values("a <= b == c && d || !e") == [
+            "a", "<=", "b", "==", "c", "&&", "d", "||", "!", "e",
+        ]
+
+    def test_power_operator(self):
+        assert "**" in values("x ** 2")
+
+    def test_system_identifier(self):
+        tokens = tokenize("$abstime")
+        assert tokens[0].kind == SYSTEM_IDENT
+        assert tokens[0].value == "$abstime"
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].value == "hello world"
+
+    def test_punctuation(self):
+        assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_assignment_is_an_operator(self):
+        tokens = tokenize("x = 1;")
+        operator = [t for t in tokens if t.value == "="][0]
+        assert operator.kind == OPERATOR
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_terminates(self):
+        assert kinds("")[-1] == EOF
+
+
+class TestCommentsAndDirectives:
+    def test_line_comments_are_skipped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comments_are_skipped(self):
+        assert values("a /* anything\n at all */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(VamsLexerError):
+            tokenize("a /* never closed")
+
+    def test_compiler_directives_are_skipped(self):
+        assert values('`include "disciplines.vams"\nmodule') == ["module"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(VamsLexerError):
+            tokenize("a § b")
+
+
+class TestNumbers:
+    def test_integers_and_floats(self):
+        assert [t.value for t in tokenize("42 3.14") if t.kind == NUMBER] == ["42", "3.14"]
+
+    def test_scientific_notation(self):
+        assert parse_number("1e-9") == pytest.approx(1e-9)
+        assert parse_number("2.5E3") == pytest.approx(2500.0)
+
+    @pytest.mark.parametrize(
+        "literal, expected",
+        [
+            ("5k", 5e3),
+            ("25n", 25e-9),
+            ("1.6K", 1.6e3),
+            ("40p", 40e-12),
+            ("3u", 3e-6),
+            ("7m", 7e-3),
+            ("2M", 2e6),
+            ("1G", 1e9),
+            ("4f", 4e-15),
+        ],
+    )
+    def test_engineering_scale_factors(self, literal, expected):
+        assert parse_number(literal) == pytest.approx(expected)
+
+    def test_scale_factor_tokenised_with_number(self):
+        numbers = [t.value for t in tokenize("R = 5k;") if t.kind == NUMBER]
+        assert numbers == ["5k"]
+
+    def test_identifier_starting_after_number_not_merged(self):
+        # "5kilo" is a number followed by an identifier, not a scaled literal.
+        tokens = [t for t in tokenize("5 kilo") if t.kind in (NUMBER, IDENT)]
+        assert [t.value for t in tokens] == ["5", "kilo"]

@@ -1,0 +1,201 @@
+"""Tests for the Verilog-AMS parser and module AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VamsParseError
+from repro.expr import Call, Conditional, Constant, Derivative, Integral, Variable
+from repro.vams import (
+    Assignment,
+    Contribution,
+    IfStatement,
+    classify_module,
+    parse_module,
+    parse_source,
+)
+from repro.vams.classify import CONSERVATIVE, MIXED, SIGNAL_FLOW
+
+RC_SOURCE = """
+`include "disciplines.vams"
+module rc1(vin, out);
+  input vin;
+  output out;
+  electrical vin, out, gnd;
+  ground gnd;
+  parameter real R = 5k;
+  parameter real C = 25n;
+  branch (vin, out) rb;
+  branch (out, gnd) cb;
+  analog begin
+    V(rb) <+ R * I(rb);
+    I(cb) <+ C * ddt(V(cb));
+  end
+endmodule
+"""
+
+
+class TestModuleStructure:
+    def test_module_name_and_ports(self):
+        module = parse_module(RC_SOURCE)
+        assert module.name == "rc1"
+        assert module.port_names() == ["vin", "out"]
+        assert module.port("vin").direction == "input"
+        assert module.port("out").direction == "output"
+
+    def test_parameters_with_scale_factors(self):
+        module = parse_module(RC_SOURCE)
+        assert module.parameter_values() == pytest.approx({"R": 5e3, "C": 25e-9})
+
+    def test_parameter_referencing_earlier_parameter(self):
+        module = parse_module(
+            "module m(a); inout a; electrical a; parameter real X = 2; "
+            "parameter real Y = 3 * X; endmodule"
+        )
+        assert module.parameter_values()["Y"] == pytest.approx(6.0)
+
+    def test_disciplines_and_ground(self):
+        module = parse_module(RC_SOURCE)
+        assert set(module.electrical_nets()) == {"vin", "out", "gnd"}
+        assert module.grounds == {"gnd"}
+
+    def test_branches(self):
+        module = parse_module(RC_SOURCE)
+        branch = module.branch_by_name("rb")
+        assert (branch.positive, branch.negative) == ("vin", "out")
+        assert module.branch_by_name("missing") is None
+
+    def test_real_variable_declarations(self):
+        module = parse_module(
+            "module m(a); inout electrical a; real x, y; analog V(a) <+ 0; endmodule"
+        )
+        assert module.real_variables == ["x", "y"]
+
+    def test_multiple_modules(self):
+        source = "module a(x); inout electrical x; endmodule\nmodule b(y); inout electrical y; endmodule"
+        modules = parse_source(source)
+        assert [m.name for m in modules] == ["a", "b"]
+        with pytest.raises(VamsParseError):
+            parse_module(source)
+
+
+class TestAnalogStatements:
+    def test_contribution_targets(self):
+        module = parse_module(RC_SOURCE)
+        contributions = module.contributions()
+        assert len(contributions) == 2
+        assert contributions[0].target.kind == "V"
+        assert contributions[1].target.kind == "I"
+
+    def test_ddt_becomes_derivative_node(self):
+        module = parse_module(RC_SOURCE)
+        capacitor = module.contributions()[1]
+        assert capacitor.expression.has_derivative()
+
+    def test_idt_with_initial_condition(self):
+        module = parse_module(
+            "module m(a, b); input a; output b; electrical a, b;"
+            " analog V(b) <+ idt(V(a), 0.5); endmodule"
+        )
+        expr = module.contributions()[0].expression
+        assert isinstance(expr, Integral)
+        assert expr.initial == Constant(0.5)
+
+    def test_access_function_in_expression(self):
+        module = parse_module(
+            "module m(a, b); input a; output b; electrical a, b;"
+            " analog V(b) <+ 2 * V(a, b) + I(a, b); endmodule"
+        )
+        names = module.contributions()[0].expression.variables()
+        assert "V(a,b)" in names
+        assert "I(a,b)" in names
+
+    def test_assignment_and_conditional(self):
+        module = parse_module(
+            """
+            module m(a, b); input a; output b; electrical a, b; real x;
+            analog begin
+              x = 2 * V(a);
+              if (x > 1) V(b) <+ x; else V(b) <+ 0;
+            end
+            endmodule
+            """
+        )
+        statements = module.analog
+        assert isinstance(statements[0], Assignment)
+        assert isinstance(statements[1], IfStatement)
+        assert isinstance(statements[1].then_branch[0], Contribution)
+        assert isinstance(statements[1].else_branch[0], Contribution)
+
+    def test_math_functions_and_system_time(self):
+        module = parse_module(
+            "module m(b); output b; electrical b;"
+            " analog V(b) <+ exp(-$abstime) * sin(2 * 3.14 * 1k * $abstime); endmodule"
+        )
+        expr = module.contributions()[0].expression
+        assert "$abstime" in expr.variables()
+
+    def test_conditional_expression(self):
+        module = parse_module(
+            "module m(a, b); input a; output b; electrical a, b;"
+            " analog V(b) <+ (V(a) > 0.5) ? 1.0 : 0.0; endmodule"
+        )
+        assert isinstance(module.contributions()[0].expression, Conditional)
+
+    def test_operator_precedence(self):
+        module = parse_module(
+            "module m(b); output b; electrical b; analog V(b) <+ 1 + 2 * 3 ** 2; endmodule"
+        )
+        from repro.expr import evaluate
+
+        assert evaluate(module.contributions()[0].expression) == pytest.approx(19.0)
+
+
+class TestErrors:
+    def test_missing_endmodule(self):
+        with pytest.raises(VamsParseError, match="endmodule"):
+            parse_module("module m(a); inout a;")
+
+    def test_unknown_function(self):
+        with pytest.raises(VamsParseError, match="unknown function"):
+            parse_module("module m(b); output b; electrical b; analog V(b) <+ foo(1); endmodule")
+
+    def test_unknown_system_function(self):
+        with pytest.raises(VamsParseError):
+            parse_module("module m(b); output b; electrical b; analog V(b) <+ $bogus; endmodule")
+
+    def test_missing_contribution_operator(self):
+        with pytest.raises(VamsParseError):
+            parse_module("module m(b); output b; electrical b; analog V(b) 1.0; endmodule")
+
+    def test_empty_source(self):
+        with pytest.raises(VamsParseError):
+            parse_module("   \n  // nothing here\n")
+
+
+class TestClassification:
+    def test_conservative_module(self):
+        assert classify_module(parse_module(RC_SOURCE)).category == CONSERVATIVE
+
+    def test_signal_flow_module(self):
+        module = parse_module(
+            "module gain(a, b); input a; output b; electrical a, b;"
+            " analog V(b) <+ 2.5 * V(a); endmodule"
+        )
+        classification = classify_module(module)
+        assert classification.category == SIGNAL_FLOW
+        assert classification.is_signal_flow
+
+    def test_mixed_module(self):
+        module = parse_module(
+            """
+            module m(a, b); input a; output b; electrical a, b, n1;
+            branch (a, n1) rb;
+            analog begin
+              V(rb) <+ 1k * I(rb);
+              V(b) <+ 3 * V(n1);
+            end
+            endmodule
+            """
+        )
+        assert classify_module(module).category == MIXED
