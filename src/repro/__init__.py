@@ -7,7 +7,9 @@ models into discrete-event code and the automatic abstraction of conservative
 (electrical network) descriptions into signal-flow models restricted to the
 outputs of interest, together with every substrate the evaluation needs
 (Verilog-AMS frontend, DE/TDF/ELN simulation kernels, a reference AMS engine,
-a MIPS-based virtual platform and the benchmark circuits).
+a MIPS-based virtual platform and the benchmark circuits) and a batch
+engine (:mod:`repro.sweep`) that simulates whole parameter sweeps through a
+vectorized NumPy backend.
 
 Quick start::
 
@@ -27,16 +29,30 @@ from .core.signalflow import SignalFlowModel, convert_signal_flow
 from .core.statespace import abstract_state_space
 from .errors import ReproError
 from .network.circuit import Circuit
+from .sweep import (
+    CornerSpec,
+    GridSpec,
+    MonteCarloSpec,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+)
 from .vams.parser import parse_module, parse_source
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AbstractionFlow",
     "AbstractionReport",
     "Circuit",
+    "CornerSpec",
+    "GridSpec",
+    "MonteCarloSpec",
     "ReproError",
     "SignalFlowModel",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "__version__",
     "abstract_circuit",
     "abstract_state_space",

@@ -7,6 +7,7 @@ name          target language        role in the paper's evaluation
 ============  ====================  ==========================================
 ``cpp``        plain C++             fastest integration target (Table I-III)
 ``python``     executable Python     the runnable equivalent of the C++ target
+``numpy``      vectorized NumPy      batch execution of whole sweeps at once
 ``systemc_de`` SystemC (DE)          discrete-event integration, no AMS layer
 ``systemc_tdf`` SystemC-AMS/TDF      signal-flow model inside the AMS framework
 ============  ====================  ==========================================
@@ -14,8 +15,21 @@ name          target language        role in the paper's evaluation
 
 from ...errors import CodeGenerationError
 from .base import CodeGenerator, ExpressionRenderer, GeneratedCode, class_name, mangle
+from .cache import cache_info, clear_cache, compile_cached, source_digest
 from .cpp import CppGenerator
-from .python_backend import PythonGenerator, compile_generated, compile_model
+from .numpy_backend import (
+    BatchArtifact,
+    NumpyGenerator,
+    batch_model,
+    compile_batch,
+    structure_signature,
+)
+from .python_backend import (
+    PythonGenerator,
+    compile_generated,
+    compile_model,
+    compile_model_cached,
+)
 from .systemc_de import SystemCDeGenerator
 from .systemc_tdf import SystemCTdfGenerator
 
@@ -23,6 +37,7 @@ from .systemc_tdf import SystemCTdfGenerator
 GENERATORS: dict[str, type[CodeGenerator]] = {
     CppGenerator.name: CppGenerator,
     PythonGenerator.name: PythonGenerator,
+    NumpyGenerator.name: NumpyGenerator,
     SystemCDeGenerator.name: SystemCDeGenerator,
     SystemCTdfGenerator.name: SystemCTdfGenerator,
 }
@@ -50,18 +65,28 @@ def generate_all(model) -> dict[str, GeneratedCode]:
 
 
 __all__ = [
+    "BatchArtifact",
     "CodeGenerator",
     "CppGenerator",
     "ExpressionRenderer",
     "GENERATORS",
     "GeneratedCode",
+    "NumpyGenerator",
     "PythonGenerator",
     "SystemCDeGenerator",
     "SystemCTdfGenerator",
+    "batch_model",
+    "cache_info",
     "class_name",
+    "clear_cache",
+    "compile_batch",
+    "compile_cached",
     "compile_generated",
     "compile_model",
+    "compile_model_cached",
     "generate_all",
     "get_generator",
     "mangle",
+    "source_digest",
+    "structure_signature",
 ]

@@ -103,6 +103,29 @@ class ExpressionRenderer:
         "floor": "math.floor",
         "ceil": "math.ceil",
     }
+    NUMPY_FUNCTIONS = {
+        "ln": "np.log",
+        "log": "np.log10",
+        "exp": "np.exp",
+        "limexp": "np.exp",
+        "sin": "np.sin",
+        "cos": "np.cos",
+        "tan": "np.tan",
+        "asin": "np.arcsin",
+        "acos": "np.arccos",
+        "atan": "np.arctan",
+        "atan2": "np.arctan2",
+        "sinh": "np.sinh",
+        "cosh": "np.cosh",
+        "tanh": "np.tanh",
+        "sqrt": "np.sqrt",
+        "abs": "np.abs",
+        "min": "np.minimum",
+        "max": "np.maximum",
+        "pow": "np.power",
+        "floor": "np.floor",
+        "ceil": "np.ceil",
+    }
     C_FUNCTIONS = {
         "ln": "std::log",
         "log": "std::log10",
@@ -133,12 +156,17 @@ class ExpressionRenderer:
         variable_formatter: Callable[[str], str],
         previous_formatter: Callable[[str], str],
     ) -> None:
-        if language not in ("python", "c++"):
+        if language not in ("python", "numpy", "c++"):
             raise CodeGenerationError(f"unsupported rendering language {language!r}")
         self.language = language
         self.variable_formatter = variable_formatter
         self.previous_formatter = previous_formatter
-        self._functions = self.PYTHON_FUNCTIONS if language == "python" else self.C_FUNCTIONS
+        if language == "python":
+            self._functions = self.PYTHON_FUNCTIONS
+        elif language == "numpy":
+            self._functions = self.NUMPY_FUNCTIONS
+        else:
+            self._functions = self.C_FUNCTIONS
 
     # -- rendering --------------------------------------------------------------------
     def render(self, expr: Expr) -> str:
@@ -153,6 +181,8 @@ class ExpressionRenderer:
         if isinstance(node, Previous):
             return self.previous_formatter(node.name)
         if isinstance(node, UnaryOp):
+            if node.op == "!" and self.language == "numpy":
+                return f"np.logical_not({self._visit(node.operand, 0)})"
             operand = self._visit(node.operand, 8)
             operator = "not " if (node.op == "!" and self.language == "python") else node.op
             text = f"{operator}{operand}"
@@ -163,14 +193,23 @@ class ExpressionRenderer:
             function = self._functions.get(node.func)
             if function is None:
                 raise CodeGenerationError(f"cannot translate function {node.func!r}")
-            arguments = ", ".join(self._visit(argument, 0) for argument in node.args)
-            return f"{function}({arguments})"
+            rendered = [self._visit(argument, 0) for argument in node.args]
+            # np.minimum/np.maximum are strictly binary (the third positional
+            # argument is ``out=``!); fold variadic min/max into nested calls.
+            if self.language == "numpy" and node.func in ("min", "max") and len(rendered) > 2:
+                folded = rendered[-1]
+                for argument in reversed(rendered[:-1]):
+                    folded = f"{function}({argument}, {folded})"
+                return folded
+            return f"{function}({', '.join(rendered)})"
         if isinstance(node, Conditional):
             condition = self._visit(node.condition, 0)
             then_value = self._visit(node.then, 0)
             else_value = self._visit(node.otherwise, 0)
             if self.language == "python":
                 return f"({then_value} if {condition} else {else_value})"
+            if self.language == "numpy":
+                return f"np.where({condition}, {then_value}, {else_value})"
             return f"({condition} ? {then_value} : {else_value})"
         if isinstance(node, (Derivative, Integral)):
             raise CodeGenerationError(
@@ -204,9 +243,12 @@ class ExpressionRenderer:
         if operator == "**":
             base = self._visit(node.lhs, 0)
             exponent = self._visit(node.rhs, 0)
-            if self.language == "python":
+            if self.language in ("python", "numpy"):
                 return f"({base}) ** ({exponent})"
             return f"std::pow({base}, {exponent})"
+        if operator in ("&&", "||") and self.language == "numpy":
+            function = "np.logical_and" if operator == "&&" else "np.logical_or"
+            return f"{function}({self._visit(node.lhs, 0)}, {self._visit(node.rhs, 0)})"
         if operator in ("&&", "||") and self.language == "python":
             operator = "and" if operator == "&&" else "or"
         precedence = self._PRECEDENCE[node.op]

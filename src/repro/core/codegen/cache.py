@@ -1,0 +1,80 @@
+"""Compiled-class cache shared by every executable backend.
+
+``exec``-compiling a generated model is cheap once, but the runners used to
+pay it on *every* run — and a sweep multiplies runs by scenarios.  Classes are
+cached by the SHA-256 digest of their generated source, so any two requests
+producing byte-identical source (re-running a benchmark, every redraw of a
+Monte-Carlo sweep, every chunk of a multiprocess sweep within one worker)
+share a single compiled class.  State lives on instances, never on the class,
+so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from .base import GeneratedCode
+
+_LOCK = threading.Lock()
+_CACHE: "OrderedDict[str, type]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+#: Least-recently-used entries are evicted beyond this size; a scalar-backend
+#: sweep bakes per-scenario coefficients into each source, so without a bound
+#: the cache would grow by one class per scenario with no reuse to show for it.
+MAX_ENTRIES = 512
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 digest of a generated source text (the cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def compile_cached(
+    generated: GeneratedCode,
+    compiler: Callable[[GeneratedCode], type],
+) -> type:
+    """Return the compiled class for ``generated``, compiling at most once.
+
+    ``compiler`` runs only on a miss; its result is stored under the digest of
+    ``generated.source`` (prefixed by the target language, so artefacts of
+    different backends can never collide).
+    """
+    global _HITS, _MISSES
+    key = f"{generated.language}:{source_digest(generated.source)}"
+    with _LOCK:
+        cls = _CACHE.get(key)
+        if cls is not None:
+            _HITS += 1
+            _CACHE.move_to_end(key)
+            return cls
+    compiled = compiler(generated)
+    with _LOCK:
+        existing = _CACHE.get(key)
+        if existing is not None:
+            _HITS += 1
+            _CACHE.move_to_end(key)
+            return existing
+        _MISSES += 1
+        _CACHE[key] = compiled
+        while len(_CACHE) > MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+    return compiled
+
+
+def cache_info() -> dict[str, int]:
+    """Hit/miss counters and current size (for tests and reports)."""
+    with _LOCK:
+        return {"hits": _HITS, "misses": _MISSES, "size": len(_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop every cached class and reset the counters."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

@@ -1,0 +1,355 @@
+"""Vectorized NumPy code generation: one model instance, many scenarios.
+
+The paper's argument is economic — abstracted signal-flow models are cheap
+enough that you can afford to simulate them *in bulk*.  This backend turns
+that argument into an execution strategy: given a batch of **structurally
+identical** signal-flow models (same topology, same assignment structure,
+different coefficient values — the shape produced by a parameter sweep, a
+corner enumeration or a tolerance Monte-Carlo), it emits a single class whose
+``step_batch`` method advances *every* scenario per call, operating on
+shape-``(n_scenarios,)`` NumPy arrays.
+
+Coefficients that differ between scenarios are *lifted* out of the expression
+trees into parameter arrays (rows of a ``(n_parameters, n_scenarios)``
+matrix); coefficients shared by every scenario stay baked into the source as
+literals.  Because the parameter values travel through the constructor rather
+than the source text, the generated source for a sweep depends only on the
+model *structure* — so the compile cache (:mod:`repro.core.codegen.cache`)
+hits for every re-run, every Monte-Carlo redraw and every chunk of a
+multiprocess sweep.
+
+The backend is also registered as ``"numpy"`` in the generator registry; in
+that single-model role it simply generates a batch of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...errors import CodeGenerationError
+from ...expr.ast import (
+    BinaryOp,
+    Call,
+    Conditional,
+    Constant,
+    Expr,
+    Previous,
+    UnaryOp,
+    Variable,
+)
+from ..signalflow import TIME_VARIABLE, SignalFlowModel
+from .base import CodeGenerator, ExpressionRenderer, GeneratedCode, class_name, mangle
+from .cache import compile_cached
+
+#: Reserved variable-name prefix marking a lifted per-scenario parameter.
+PARAM_PREFIX = "__sweep_p"
+
+
+# ---------------------------------------------------------------------------
+# Structural identity
+# ---------------------------------------------------------------------------
+def _skeleton(expr: Expr) -> tuple:
+    """A structural key of ``expr`` that ignores the values of constants."""
+    if isinstance(expr, Constant):
+        return ("const",)
+    if isinstance(expr, Variable):
+        return ("var", expr.name)
+    if isinstance(expr, Previous):
+        return ("prev", expr.name)
+    if isinstance(expr, BinaryOp):
+        return ("bin", expr.op, _skeleton(expr.lhs), _skeleton(expr.rhs))
+    if isinstance(expr, UnaryOp):
+        return ("un", expr.op, _skeleton(expr.operand))
+    if isinstance(expr, Call):
+        return ("call", expr.func) + tuple(_skeleton(arg) for arg in expr.args)
+    if isinstance(expr, Conditional):
+        return (
+            "cond",
+            _skeleton(expr.condition),
+            _skeleton(expr.then),
+            _skeleton(expr.otherwise),
+        )
+    raise CodeGenerationError(f"cannot take the skeleton of {type(expr).__name__}")
+
+
+def structure_signature(model: SignalFlowModel) -> tuple:
+    """Hashable key identifying the batchable structure of ``model``.
+
+    Two models with equal signatures differ at most in constant values and in
+    initial-state values, which is exactly what :func:`generate_batch` lifts
+    into per-scenario arrays.
+    """
+    return (
+        tuple(model.inputs),
+        tuple(model.outputs),
+        tuple(model.state_variables),
+        float(model.timestep),
+        tuple(
+            (assignment.target, _skeleton(assignment.expression))
+            for assignment in model.assignments
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constant lifting
+# ---------------------------------------------------------------------------
+class _ParameterLifter:
+    """Collects per-scenario constant vectors, deduplicating identical ones."""
+
+    def __init__(self) -> None:
+        self.columns: list[tuple[float, ...]] = []
+        self._slots: dict[tuple[float, ...], int] = {}
+
+    def lift(self, values: tuple[float, ...]) -> Expr:
+        index = self._slots.get(values)
+        if index is None:
+            index = len(self.columns)
+            self.columns.append(values)
+            self._slots[values] = index
+        return Variable(f"{PARAM_PREFIX}{index}")
+
+
+def _merge(exprs: Sequence[Expr], lifter: _ParameterLifter) -> Expr:
+    """Merge structurally identical trees into one template expression.
+
+    Constants equal across every scenario stay literal; differing constants
+    become lifted parameter references.
+    """
+    first = exprs[0]
+    if isinstance(first, Constant):
+        values = tuple(expr.value for expr in exprs)  # type: ignore[union-attr]
+        if all(value == values[0] for value in values):
+            return first
+        return lifter.lift(values)
+    if isinstance(first, (Variable, Previous)):
+        return first
+    if isinstance(first, BinaryOp):
+        return BinaryOp(
+            first.op,
+            _merge([expr.lhs for expr in exprs], lifter),  # type: ignore[attr-defined]
+            _merge([expr.rhs for expr in exprs], lifter),  # type: ignore[attr-defined]
+        )
+    if isinstance(first, UnaryOp):
+        return UnaryOp(first.op, _merge([expr.operand for expr in exprs], lifter))  # type: ignore[attr-defined]
+    if isinstance(first, Call):
+        return Call(
+            first.func,
+            [
+                _merge([expr.args[i] for expr in exprs], lifter)  # type: ignore[attr-defined]
+                for i in range(len(first.args))
+            ],
+        )
+    if isinstance(first, Conditional):
+        return Conditional(
+            _merge([expr.condition for expr in exprs], lifter),  # type: ignore[attr-defined]
+            _merge([expr.then for expr in exprs], lifter),  # type: ignore[attr-defined]
+            _merge([expr.otherwise for expr in exprs], lifter),  # type: ignore[attr-defined]
+        )
+    raise CodeGenerationError(f"cannot merge node of type {type(first).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+@dataclass
+class BatchArtifact:
+    """A generated batch model plus the per-scenario data it executes with."""
+
+    code: GeneratedCode
+    #: Lifted coefficients, shape ``(n_parameters, n_scenarios)``.
+    parameters: np.ndarray
+    #: Initial state values, shape ``(n_states, n_scenarios)``.
+    initial_state: np.ndarray
+    n_scenarios: int
+
+    def instantiate(self, cache: bool = True):
+        """Compile (through the cache by default) and build a live instance."""
+        cls = compile_batch(self.code, cache=cache)
+        return cls(self.parameters, self.initial_state, self.n_scenarios)
+
+
+class NumpyGenerator(CodeGenerator):
+    """Generate a vectorized NumPy class advancing many scenarios per step."""
+
+    name = "numpy"
+    language = "NumPy"
+
+    def generate(self, model: SignalFlowModel) -> GeneratedCode:
+        """Single-model entry point of the registry: a batch of one."""
+        return self.generate_batch([model]).code
+
+    def generate_batch(self, models: Sequence[SignalFlowModel]) -> BatchArtifact:
+        """Emit one ``step_batch`` class covering every model in ``models``."""
+        if not models:
+            raise CodeGenerationError("cannot generate a batch of zero models")
+        first = models[0]
+        self.check_model(first)
+        signature = structure_signature(first)
+        for model in models[1:]:
+            if structure_signature(model) != signature:
+                raise CodeGenerationError(
+                    f"model {model.name!r} is not structurally identical to "
+                    f"{first.name!r}; split the sweep into structure groups"
+                )
+
+        lifter = _ParameterLifter()
+        templates = [
+            _merge([model.assignments[i].expression for model in models], lifter)
+            for i in range(len(first.assignments))
+        ]
+        initial = np.array(
+            [
+                [float(model.initial_state.get(state, 0.0)) for model in models]
+                for state in first.state_variables
+            ],
+            dtype=float,
+        ).reshape(len(first.state_variables), len(models))
+
+        entity = class_name(first.name, "Batch")
+        renderer = ExpressionRenderer(
+            "numpy",
+            variable_formatter=self._variable_formatter(first),
+            previous_formatter=lambda name: f"self._prev_{mangle(name)}",
+        )
+
+        input_names = [mangle(name) for name in first.inputs]
+        output_targets = [mangle(name) for name in first.outputs]
+        used_parameters = sorted(
+            {
+                int(name[len(PARAM_PREFIX):])
+                for template in templates
+                for name in template.variables()
+                if name.startswith(PARAM_PREFIX)
+            }
+        )
+
+        lines: list[str] = []
+        lines.append('"""Generated by repro.core.codegen.numpy_backend — do not edit."""')
+        lines.append("")
+        lines.append("import numpy as np")
+        lines.append("")
+        lines.append("")
+        lines.append(f"class {entity}:")
+        lines.append(
+            f'    """Vectorized signal-flow model {first.name!r} ({first.source}): '
+            'one instance advances every scenario of a sweep per step."""'
+        )
+        lines.append("")
+        lines.append(f"    INPUTS = {tuple(first.inputs)!r}")
+        lines.append(f"    OUTPUTS = {tuple(first.outputs)!r}")
+        lines.append(f"    STATES = {tuple(first.state_variables)!r}")
+        lines.append(f"    TIMESTEP = {first.timestep!r}")
+        lines.append(f"    N_PARAMETERS = {len(lifter.columns)}")
+        lines.append("")
+        lines.append("    def __init__(self, parameters, initial_state, n_scenarios):")
+        lines.append("        self.n_scenarios = int(n_scenarios)")
+        lines.append("        self._parameters = np.asarray(parameters, dtype=float)")
+        lines.append("        self._initial = np.asarray(initial_state, dtype=float)")
+        lines.append("        self.reset()")
+        lines.append("")
+        lines.append("    def reset(self):")
+        lines.append('        """Restore the initial state X0 for every scenario."""')
+        if first.state_variables:
+            for index, state in enumerate(first.state_variables):
+                lines.append(
+                    f"        self._prev_{mangle(state)} = "
+                    f"np.array(self._initial[{index}], dtype=float)"
+                )
+        else:
+            lines.append("        pass")
+        lines.append("")
+        arguments = ", ".join(input_names) if input_names else ""
+        time_name = self.time_name()
+        signature_text = (
+            f"self, {arguments}, {time_name}=0.0" if arguments else f"self, {time_name}=0.0"
+        )
+        lines.append(f"    def step_batch({signature_text}):")
+        lines.append(
+            '        """Advance every scenario by one timestep; inputs broadcast '
+            'against shape (n_scenarios,) arrays."""'
+        )
+        for index in used_parameters:
+            lines.append(f"        _p{index} = self._parameters[{index}]")
+        for assignment, template in zip(first.assignments, templates):
+            target = mangle(assignment.target)
+            lines.append(f"        {target} = {renderer.render(template)}")
+        for state in first.state_variables:
+            lines.append(f"        self._prev_{mangle(state)} = {mangle(state)}")
+        if len(output_targets) == 1:
+            lines.append(f"        return {output_targets[0]}")
+        else:
+            lines.append(f"        return ({', '.join(output_targets)},)")
+        lines.append("")
+        source = "\n".join(lines)
+
+        code = GeneratedCode(
+            language=self.language,
+            model_name=first.name,
+            entity_name=entity,
+            source=source,
+            model=first,
+            metadata={
+                "backend": self.name,
+                "n_parameters": str(len(lifter.columns)),
+                "n_scenarios": str(len(models)),
+            },
+        )
+        parameters = np.array(lifter.columns, dtype=float).reshape(
+            len(lifter.columns), len(models)
+        )
+        return BatchArtifact(
+            code=code,
+            parameters=parameters,
+            initial_state=initial,
+            n_scenarios=len(models),
+        )
+
+    @staticmethod
+    def _variable_formatter(model: SignalFlowModel):
+        inputs = set(model.inputs)
+        targets = {assignment.target for assignment in model.assignments}
+
+        def formatter(name: str) -> str:
+            if name.startswith(PARAM_PREFIX):
+                return f"_p{int(name[len(PARAM_PREFIX):])}"
+            if name == TIME_VARIABLE:
+                return mangle(TIME_VARIABLE)
+            if name in inputs or name in targets:
+                return mangle(name)
+            raise CodeGenerationError(
+                f"expression references {name!r}, which is neither an input "
+                "nor a computed quantity"
+            )
+
+        return formatter
+
+
+def compile_batch(code: GeneratedCode, cache: bool = True) -> type:
+    """Compile a NumPy batch artefact into its class, using the shared cache."""
+    if code.language != "NumPy":
+        raise CodeGenerationError(
+            f"can only compile NumPy artefacts, not {code.language!r}"
+        )
+    if cache:
+        return compile_cached(code, _exec_compile)
+    return _exec_compile(code)
+
+
+def _exec_compile(code: GeneratedCode) -> type:
+    namespace: dict[str, object] = {}
+    exec(compile(code.source, f"<generated:{code.model_name}:numpy>", "exec"), namespace)
+    cls = namespace.get(code.entity_name)
+    if not isinstance(cls, type):
+        raise CodeGenerationError(
+            f"generated source did not define the class {code.entity_name!r}"
+        )
+    return cls
+
+
+def batch_model(models: Sequence[SignalFlowModel], cache: bool = True):
+    """Convenience: generate, compile and instantiate a batch in one call."""
+    return NumpyGenerator().generate_batch(models).instantiate(cache=cache)

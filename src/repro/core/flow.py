@@ -172,8 +172,12 @@ class AbstractionFlow:
             module = model
 
         if module is not None and classify_module(module).is_signal_flow:
+            start = time.perf_counter()
             converted = self.convert(module)
-            return AbstractionReport(model=converted, timings={"conversion": 0.0})
+            conversion_time = time.perf_counter() - start
+            return AbstractionReport(
+                model=converted, timings={"conversion": conversion_time}
+            )
 
         if outputs is None:
             raise AbstractionError(

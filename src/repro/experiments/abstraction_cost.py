@@ -17,6 +17,7 @@ from ..circuits.rc_filter import build_rc_filter
 from ..core.codegen import generate_all
 from ..core.flow import AbstractionFlow
 from ..metrics.timing import measure
+from ..sweep.spec import GridSpec
 from .common import PAPER_TIMESTEP
 
 
@@ -57,9 +58,17 @@ def run_sweep(
     orders: list[int] | None = None,
     timestep: float = PAPER_TIMESTEP,
 ) -> list[AbstractionCostSample]:
-    """Sweep the RC-ladder order (default 1..32 in octave steps)."""
-    orders = orders or [1, 2, 4, 8, 16, 20, 32]
-    return [measure_order(order, timestep) for order in orders]
+    """Sweep the RC-ladder order (default 1..32 in octave steps).
+
+    The order axis is enumerated through the sweep subsystem's declarative
+    spec (:class:`repro.sweep.spec.GridSpec`), the same machinery batch
+    simulations use to expand their scenario lists.
+    """
+    spec = GridSpec(axes={"order": list(orders or [1, 2, 4, 8, 16, 20, 32])})
+    return [
+        measure_order(int(scenario.params["order"]), timestep)
+        for scenario in spec.expand()
+    ]
 
 
 def format_sweep(samples: list[AbstractionCostSample]) -> str:

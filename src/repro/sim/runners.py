@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from ..core.signalflow import SignalFlowModel
-from ..core.codegen.python_backend import compile_model
+from ..core.codegen.python_backend import compile_model_cached
 from ..network.circuit import Circuit
 from .ams import ReferenceAmsSimulator
 from .de import Kernel
@@ -154,9 +154,9 @@ def run_interpreted_model(
 
 
 def _instantiate(model: "SignalFlowModel | object"):
-    """Accept a SignalFlowModel (compiled on the fly), a class or an instance."""
+    """Accept a SignalFlowModel (compiled through the cache), a class or an instance."""
     if isinstance(model, SignalFlowModel):
-        return compile_model(model)()
+        return compile_model_cached(model)()
     if isinstance(model, type):
         return model()
     return model

@@ -1,0 +1,57 @@
+"""Batch simulation and design-space exploration (the ``repro.sweep`` subsystem).
+
+The paper's economic argument — abstracted signal-flow models are cheap
+enough to simulate *a lot* — needs an engine that actually runs a lot of
+them.  This package provides it:
+
+* :mod:`~repro.sweep.spec` — declarative sweep specifications (parameter
+  grids, corner enumeration, tolerance Monte-Carlo) expanding into scenario
+  lists;
+* :mod:`~repro.sweep.runner` — :class:`SweepRunner`, which abstracts every
+  scenario, batches structurally identical models through the vectorized
+  NumPy backend, chunks across ``multiprocessing`` workers, and reuses
+  compiled classes through the source-digest cache;
+* :mod:`~repro.sweep.results` — :class:`SweepResult`, the ensemble waveform
+  matrices with envelope/summary aggregation and markdown/CSV reports.
+
+Quick start::
+
+    from repro.circuits import build_rc_filter
+    from repro.sim import SquareWave
+    from repro.sweep import MonteCarloSpec, SweepRunner
+
+    spec = MonteCarloSpec(
+        nominal={"resistance": 5e3, "capacitance": 25e-9},
+        tolerances={"resistance": 0.05, "capacitance": 0.05},
+        samples=256, seed=7,
+    )
+    runner = SweepRunner(build_rc_filter, "out",
+                         stimuli={"vin": SquareWave(period=1e-3)},
+                         timestep=50e-9)
+    result = runner.run(spec, duration=0.2e-3)
+    print(result.to_markdown())
+"""
+
+from .results import SweepResult
+from .runner import SweepConfig, SweepError, SweepRunner
+from .spec import (
+    CompositeSpec,
+    CornerSpec,
+    GridSpec,
+    MonteCarloSpec,
+    Scenario,
+    SweepSpec,
+)
+
+__all__ = [
+    "CompositeSpec",
+    "CornerSpec",
+    "GridSpec",
+    "MonteCarloSpec",
+    "Scenario",
+    "SweepConfig",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+]

@@ -1,0 +1,415 @@
+"""Batch execution of sweep scenarios: vectorized, cached, and chunkable.
+
+:class:`SweepRunner` is the engine that turns a scenario list into ensemble
+waveforms:
+
+1. every scenario's circuit is built (``factory(**scenario.params)``) and
+   abstracted into a signal-flow model;
+2. scenarios whose models are structurally identical are grouped, and each
+   group becomes one vectorized NumPy batch model
+   (:mod:`repro.core.codegen.numpy_backend`) that advances *all* of the
+   group's scenarios per timestep — per-scenario coefficients live in arrays,
+   so a 256-point Monte-Carlo costs one generated class and one Python-level
+   loop instead of 256;
+3. compiled classes are reused through the source-digest cache
+   (:mod:`repro.core.codegen.cache`);
+4. with ``workers > 1`` the scenario list is chunked across
+   ``multiprocessing`` workers (serial fallback when the platform or the
+   payload does not cooperate), and chunk results are concatenated in
+   scenario order, so multiprocess and serial runs are bit-identical.
+
+The scalar ``backend="python"`` path runs each scenario through the
+generated per-scenario ``step`` class instead; it exists as the equivalence
+baseline and as a fallback for models the vectorized renderer cannot batch.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.codegen.cache import cache_info
+from ..core.codegen.numpy_backend import NumpyGenerator, structure_signature
+from ..core.codegen.python_backend import compile_model_cached
+from ..core.flow import AbstractionFlow
+from ..core.signalflow import SignalFlowModel
+from ..errors import ReproError
+from ..metrics.nrmse import compare_traces
+from ..network.circuit import Circuit
+from ..sim.runners import run_reference_model
+from ..sim.trace import Trace
+from .results import SweepResult
+from .spec import Scenario, SweepSpec
+
+Stimuli = Mapping[str, Callable[[float], float]]
+
+
+class SweepError(ReproError):
+    """Raised when a sweep cannot be expanded or executed."""
+
+
+@dataclass
+class SweepConfig:
+    """The picklable execution recipe shipped to every worker process."""
+
+    factory: Callable[..., Circuit]
+    outputs: list[str]
+    timestep: float
+    duration: float
+    stimuli: dict[str, Callable[[float], float]]
+    method: str = "backward_euler"
+    backend: str = "numpy"
+    name: str | None = None
+
+
+def _abstract_scenario(config: SweepConfig, scenario: Scenario) -> SignalFlowModel:
+    circuit = config.factory(**scenario.params)
+    flow = AbstractionFlow(config.timestep, method=config.method)
+    name = config.name or circuit.name
+    return flow.abstract(circuit, list(config.outputs), name=name).model
+
+
+def _scenario_stimuli(config: SweepConfig, scenario: Scenario) -> Stimuli:
+    return scenario.stimuli if scenario.stimuli is not None else config.stimuli
+
+
+def _input_columns(
+    config: SweepConfig,
+    scenarios: Sequence[Scenario],
+    input_names: Sequence[str],
+):
+    """Per-input evaluators: a shared callable, or a per-scenario array builder."""
+    columns = []
+    for name in input_names:
+        waveforms = []
+        for scenario in scenarios:
+            stimuli = _scenario_stimuli(config, scenario)
+            try:
+                waveforms.append(stimuli[name])
+            except KeyError as exc:
+                raise SweepError(
+                    f"scenario {scenario.describe()} provides no stimulus for "
+                    f"input {name!r}"
+                ) from exc
+        first = waveforms[0]
+        if all(waveform == first for waveform in waveforms[1:]):
+            columns.append(first)
+        else:
+            columns.append(
+                lambda t, _waveforms=waveforms: np.array(
+                    [waveform(t) for waveform in _waveforms]
+                )
+            )
+    return columns
+
+
+def _simulate_batch(
+    config: SweepConfig,
+    scenarios: Sequence[Scenario],
+    models: Sequence[SignalFlowModel],
+    steps: int,
+) -> dict[str, np.ndarray]:
+    """Run one structure group through the vectorized NumPy backend."""
+    artifact = NumpyGenerator().generate_batch(models)
+    instance = artifact.instantiate()
+    dt = float(config.timestep)
+    output_names = list(instance.OUTPUTS)
+    single_output = len(output_names) == 1
+    columns = _input_columns(config, scenarios, instance.INPUTS)
+    step_batch = instance.step_batch
+    # Record step-major (contiguous row writes), transpose to scenario-major once.
+    recorded = {name: np.zeros((steps, len(scenarios))) for name in output_names}
+    for index in range(steps):
+        now = (index + 1) * dt
+        result = step_batch(*[column(now) for column in columns], now)
+        if single_output:
+            recorded[output_names[0]][index] = result
+        else:
+            for name, values in zip(output_names, result):
+                recorded[name][index] = values
+    return {
+        name: np.ascontiguousarray(matrix.T) for name, matrix in recorded.items()
+    }
+
+
+def _simulate_scalar(
+    config: SweepConfig,
+    scenario: Scenario,
+    model: SignalFlowModel,
+    steps: int,
+) -> dict[str, np.ndarray]:
+    """Run one scenario through the per-scenario generated ``step`` class."""
+    instance = compile_model_cached(model)()
+    dt = float(config.timestep)
+    stimuli = _scenario_stimuli(config, scenario)
+    waveforms = [stimuli[name] for name in instance.INPUTS]
+    output_names = list(instance.OUTPUTS)
+    single_output = len(output_names) == 1
+    rows = {name: np.zeros(steps) for name in output_names}
+    step = instance.step
+    for index in range(steps):
+        now = (index + 1) * dt
+        result = step(*[waveform(now) for waveform in waveforms], now)
+        if single_output:
+            rows[output_names[0]][index] = result
+        else:
+            for name, value in zip(output_names, result):
+                rows[name][index] = value
+    return {name: row.reshape(1, steps) for name, row in rows.items()}
+
+
+def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
+    """Abstract, group and simulate one contiguous chunk of scenarios.
+
+    Module-level so that :mod:`multiprocessing` can import it in workers; the
+    serial path calls it directly with the whole scenario list.
+    """
+    config, scenarios = payload
+    timings = {"abstract": 0.0, "simulate": 0.0}
+
+    start = _time.perf_counter()
+    models = [_abstract_scenario(config, scenario) for scenario in scenarios]
+    timings["abstract"] = _time.perf_counter() - start
+
+    steps = int(round(config.duration / config.timestep))
+    if steps <= 0:
+        raise SweepError("duration is shorter than one timestep")
+
+    output_names = list(models[0].outputs)
+    outputs = {name: np.zeros((len(scenarios), steps)) for name in output_names}
+
+    start = _time.perf_counter()
+    if config.backend == "numpy":
+        groups: dict[tuple, list[int]] = {}
+        for position, model in enumerate(models):
+            groups.setdefault(structure_signature(model), []).append(position)
+        for positions in groups.values():
+            matrices = _simulate_batch(
+                config,
+                [scenarios[i] for i in positions],
+                [models[i] for i in positions],
+                steps,
+            )
+            for name, matrix in matrices.items():
+                outputs[name][positions, :] = matrix
+    elif config.backend == "python":
+        for position, (scenario, model) in enumerate(zip(scenarios, models)):
+            rows = _simulate_scalar(config, scenario, model, steps)
+            for name, row in rows.items():
+                outputs[name][position, :] = row
+    else:
+        raise SweepError(
+            f"unknown sweep backend {config.backend!r}; use 'numpy' or 'python'"
+        )
+    timings["simulate"] = _time.perf_counter() - start
+
+    return {
+        "outputs": outputs,
+        "steps": steps,
+        "signatures": {structure_signature(model) for model in models},
+        "timings": timings,
+        "cache": cache_info(),
+    }
+
+
+class SweepRunner:
+    """Expand a spec, simulate every scenario, aggregate into a result.
+
+    Parameters
+    ----------
+    factory:
+        Circuit factory called with each scenario's parameters
+        (``factory(**scenario.params)``).  Must be picklable for
+        multiprocess runs (a module-level function, e.g.
+        :func:`repro.circuits.build_rc_filter`).
+    outputs:
+        Output(s) of interest handed to the abstraction flow (``"out"`` or
+        ``["out", "V(n1)"]``).
+    stimuli:
+        Default stimulus callables keyed by input name; individual scenarios
+        may override them.
+    timestep:
+        Fixed execution timestep of the generated models.
+    backend:
+        ``"numpy"`` (vectorized batches, the default) or ``"python"``
+        (per-scenario scalar classes — the equivalence baseline).
+    workers:
+        Number of ``multiprocessing`` workers; ``1`` runs serially.  When a
+        pool cannot be used (unpicklable payload, missing ``fork``), the
+        runner falls back to the serial path and records it in the result.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Circuit],
+        outputs: "str | list[str]",
+        stimuli: Stimuli,
+        timestep: float,
+        method: str = "backward_euler",
+        backend: str = "numpy",
+        workers: int = 1,
+        name: str | None = None,
+    ) -> None:
+        if timestep <= 0.0:
+            raise ValueError("timestep must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if backend not in ("numpy", "python"):
+            raise SweepError(
+                f"unknown sweep backend {backend!r}; use 'numpy' or 'python'"
+            )
+        self.factory = factory
+        self.outputs = [outputs] if isinstance(outputs, str) else list(outputs)
+        self.stimuli = dict(stimuli)
+        self.timestep = float(timestep)
+        self.method = method
+        self.backend = backend
+        self.workers = int(workers)
+        self.name = name
+
+    # -- execution ---------------------------------------------------------------------
+    def run(
+        self,
+        spec: "SweepSpec | Sequence[Scenario]",
+        duration: float,
+        reference: bool = False,
+    ) -> SweepResult:
+        """Simulate every scenario of ``spec`` for ``duration`` seconds.
+
+        With ``reference=True`` every scenario is additionally simulated on
+        the reference AMS engine and the per-scenario NRMSE is recorded
+        (slow — the reference engine is the paper's golden baseline, not a
+        batch target).
+        """
+        scenarios = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+        if not scenarios:
+            raise SweepError("the sweep spec expanded to zero scenarios")
+
+        config = SweepConfig(
+            factory=self.factory,
+            outputs=self.outputs,
+            timestep=self.timestep,
+            duration=float(duration),
+            stimuli=self.stimuli,
+            method=self.method,
+            backend=self.backend,
+            name=self.name,
+        )
+
+        wall_start = _time.perf_counter()
+        workers_used = 1
+        if self.workers > 1 and len(scenarios) > 1:
+            chunk_results = self._run_parallel(config, scenarios)
+            if chunk_results is not None:
+                workers_used = min(self.workers, len(scenarios))
+            else:
+                chunk_results = [_run_chunk((config, scenarios))]
+        else:
+            chunk_results = [_run_chunk((config, scenarios))]
+
+        outputs: dict[str, np.ndarray] = {}
+        for name in chunk_results[0]["outputs"]:
+            outputs[name] = np.concatenate(
+                [chunk["outputs"][name] for chunk in chunk_results], axis=0
+            )
+        steps = chunk_results[0]["steps"]
+        times = np.arange(1, steps + 1) * self.timestep
+        timings = {
+            phase: sum(chunk["timings"][phase] for chunk in chunk_results)
+            for phase in chunk_results[0]["timings"]
+        }
+        timings["wall"] = _time.perf_counter() - wall_start
+
+        signatures: set = set()
+        for chunk in chunk_results:
+            signatures |= chunk["signatures"]
+        result = SweepResult(
+            scenarios=scenarios,
+            times=times,
+            outputs=outputs,
+            backend=self.backend,
+            workers=workers_used,
+            timings=timings,
+            structure_groups=len(signatures),
+        )
+        if reference:
+            result.nrmse = self._reference_nrmse(config, result)
+        return result
+
+    def _run_parallel(
+        self,
+        config: SweepConfig,
+        scenarios: list[Scenario],
+    ) -> "list[dict] | None":
+        """Chunk across a process pool; ``None`` means fall back to serial."""
+        import multiprocessing
+
+        workers = min(self.workers, len(scenarios))
+        bounds = np.linspace(0, len(scenarios), workers + 1).astype(int)
+        chunks = [
+            scenarios[start:stop]
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if stop > start
+        ]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            pool = context.Pool(processes=len(chunks))
+        except (OSError, ValueError, AttributeError, ImportError) as error:
+            # The *pool* could not be built (no fork, fd limits...): fall back.
+            import warnings
+
+            warnings.warn(
+                f"sweep falling back to serial execution ({error})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            with pool:
+                return pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
+        except Exception as error:
+            # Unpicklable payloads are an execution-strategy problem: fall
+            # back.  Anything else is a real error from inside a worker (bad
+            # factory arguments, abstraction failures...) and must surface
+            # immediately instead of being retried serially.
+            if "pickle" in type(error).__name__.lower() or "pickle" in str(error).lower():
+                import warnings
+
+                warnings.warn(
+                    f"sweep payload is not picklable, running serially ({error})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+            raise
+
+    # -- reference comparison ----------------------------------------------------------
+    def _reference_nrmse(
+        self,
+        config: SweepConfig,
+        result: SweepResult,
+    ) -> dict[str, np.ndarray]:
+        """Per-scenario NRMSE of every output versus the reference AMS engine."""
+        names = result.output_names()
+        errors = {name: np.zeros(result.n_scenarios) for name in names}
+        for index, scenario in enumerate(result.scenarios):
+            circuit = config.factory(**scenario.params)
+            reference = run_reference_model(
+                circuit,
+                _scenario_stimuli(config, scenario),
+                config.duration,
+                config.timestep,
+                record=names,
+            )
+            for name in names:
+                measured = Trace(name)
+                for time, value in zip(result.times, result.outputs[name][index]):
+                    measured.append(float(time), float(value))
+                errors[name][index] = compare_traces(reference[name], measured)
+        return errors

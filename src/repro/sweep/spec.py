@@ -1,0 +1,214 @@
+"""Declarative sweep specifications: what to simulate, not how.
+
+A sweep spec describes a family of scenarios over one circuit factory — a
+Cartesian parameter grid, a process-corner enumeration, or a tolerance
+Monte-Carlo — and expands into a flat list of :class:`Scenario` objects.
+Each scenario is a circuit-factory parameterization (keyword arguments for
+the factory) plus an optional stimulus choice; the :class:`SweepRunner
+<repro.sweep.runner.SweepRunner>` turns the list into ensemble waveforms.
+
+Specs are composable: ``grid + corners + monte_carlo`` concatenates the
+scenario lists (re-indexed), so one run can mix systematic and statistical
+coverage.  Monte-Carlo expansion is deterministic for a given seed — the
+same spec always produces the same scenarios, which is what makes sweep
+results reproducible and multiprocess execution order-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+Stimuli = Mapping[str, Callable[[float], float]]
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass
+class Scenario:
+    """One point of a sweep: factory parameters plus an optional stimulus set."""
+
+    index: int
+    label: str
+    params: dict[str, float]
+    stimuli: Stimuli | None = None
+    origin: str = "sweep"
+
+    def describe(self) -> str:
+        """Compact human-readable form used by reports."""
+        params = ", ".join(
+            f"{name}={_format_value(value)}" for name, value in self.params.items()
+        )
+        return f"[{self.index}] {self.label} ({params})" if params else f"[{self.index}] {self.label}"
+
+
+class SweepSpec:
+    """Base class of every sweep specification."""
+
+    #: Stimuli applied to every scenario this spec expands to (``None`` keeps
+    #: the runner's default stimuli).
+    stimuli: Stimuli | None = None
+    #: Short tag recorded as :attr:`Scenario.origin`.
+    origin: str = "sweep"
+
+    def _points(self) -> Iterable[tuple[str, dict[str, float]]]:
+        """Yield ``(label, params)`` pairs; implemented by subclasses."""
+        raise NotImplementedError
+
+    def expand(self) -> list[Scenario]:
+        """Expand into the flat, deterministically ordered scenario list."""
+        return [
+            Scenario(index=index, label=label, params=params, stimuli=self.stimuli, origin=self.origin)
+            for index, (label, params) in enumerate(self._points())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+    def __add__(self, other: "SweepSpec") -> "CompositeSpec":
+        if not isinstance(other, SweepSpec):
+            return NotImplemented
+        return CompositeSpec([self, other])
+
+
+@dataclass
+class GridSpec(SweepSpec):
+    """Full Cartesian product over the ``axes`` values, on top of ``base``.
+
+    >>> GridSpec(axes={"resistance": [4e3, 5e3], "capacitance": [20e-9, 25e-9]})
+    ... # doctest: +SKIP
+    expands to 4 scenarios: every (R, C) combination, in row-major axis order.
+    """
+
+    axes: Mapping[str, Sequence[float]]
+    base: Mapping[str, float] = field(default_factory=dict)
+    stimuli: Stimuli | None = None
+    origin: str = "grid"
+
+    def _points(self) -> Iterable[tuple[str, dict[str, float]]]:
+        names = list(self.axes)
+        if not names:
+            yield "base", dict(self.base)
+            return
+        for values in itertools.product(*(self.axes[name] for name in names)):
+            params = dict(self.base)
+            params.update(zip(names, values))
+            label = ",".join(
+                f"{name}={_format_value(value)}" for name, value in zip(names, values)
+            )
+            yield label, params
+
+
+@dataclass
+class CornerSpec(SweepSpec):
+    """Process-corner enumeration: every low/high combination of ``corners``.
+
+    ``corners`` maps a parameter name to its ``(low, high)`` extremes; the
+    expansion covers all ``2**k`` corners (plus the nominal point when
+    ``include_nominal`` is set), each parameter taking either extreme on top
+    of the ``nominal`` values.
+    """
+
+    nominal: Mapping[str, float]
+    corners: Mapping[str, tuple[float, float]]
+    include_nominal: bool = True
+    stimuli: Stimuli | None = None
+    origin: str = "corners"
+
+    def _points(self) -> Iterable[tuple[str, dict[str, float]]]:
+        if self.include_nominal:
+            yield "nominal", dict(self.nominal)
+        names = list(self.corners)
+        for choice in itertools.product((0, 1), repeat=len(names)):
+            params = dict(self.nominal)
+            tags = []
+            for name, pick in zip(names, choice):
+                low, high = self.corners[name]
+                params[name] = high if pick else low
+                tags.append(f"{name}:{'hi' if pick else 'lo'}")
+            yield ",".join(tags), params
+
+
+@dataclass
+class MonteCarloSpec(SweepSpec):
+    """Tolerance Monte-Carlo: random scatter around the nominal point.
+
+    ``tolerances`` maps a parameter name to its relative tolerance (``0.05``
+    means ±5 %).  ``distribution`` is ``"uniform"`` (flat within the tolerance
+    band) or ``"normal"`` (the tolerance is the 3-sigma point).  Sampling uses
+    ``numpy.random.default_rng(seed)``, so a spec expands to the same scenario
+    list every time.
+    """
+
+    nominal: Mapping[str, float]
+    tolerances: Mapping[str, float]
+    samples: int = 32
+    seed: int = 0
+    distribution: str = "uniform"
+    stimuli: Stimuli | None = None
+    origin: str = "monte-carlo"
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("a Monte-Carlo spec needs at least one sample")
+        if self.distribution not in ("uniform", "normal"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        for name, tolerance in self.tolerances.items():
+            if tolerance < 0.0:
+                raise ValueError(f"tolerance of {name!r} must be non-negative")
+            if name not in self.nominal:
+                raise ValueError(
+                    f"tolerance given for {name!r}, but it has no nominal value"
+                )
+
+    def _points(self) -> Iterable[tuple[str, dict[str, float]]]:
+        rng = np.random.default_rng(self.seed)
+        names = list(self.tolerances)
+        for sample in range(self.samples):
+            params = dict(self.nominal)
+            for name in names:
+                tolerance = self.tolerances[name]
+                if self.distribution == "uniform":
+                    scatter = rng.uniform(-tolerance, tolerance)
+                else:
+                    scatter = rng.normal(0.0, tolerance / 3.0)
+                params[name] = params[name] * (1.0 + scatter)
+            yield f"mc#{sample}", params
+
+
+@dataclass
+class CompositeSpec(SweepSpec):
+    """Concatenation of several specs (what ``spec_a + spec_b`` builds)."""
+
+    specs: list[SweepSpec]
+    origin: str = "composite"
+
+    def expand(self) -> list[Scenario]:
+        scenarios: list[Scenario] = []
+        for spec in self.specs:
+            for scenario in spec.expand():
+                scenarios.append(
+                    Scenario(
+                        index=len(scenarios),
+                        label=scenario.label,
+                        params=scenario.params,
+                        stimuli=scenario.stimuli,
+                        origin=scenario.origin,
+                    )
+                )
+        return scenarios
+
+    def _points(self) -> Iterable[tuple[str, dict[str, float]]]:  # pragma: no cover
+        raise NotImplementedError("CompositeSpec overrides expand() directly")
+
+    def __add__(self, other: SweepSpec) -> "CompositeSpec":
+        if not isinstance(other, SweepSpec):
+            return NotImplemented
+        return CompositeSpec([*self.specs, other])

@@ -91,6 +91,16 @@ class TestFlowInterface:
         conservative = flow.process(build_rc_filter(1), outputs="out")
         assert conservative.model.source.startswith("conservative")
 
+    def test_process_measures_the_conversion_path(self, flow):
+        signal_flow_source = (
+            "module gain(a, b); input a; output b; electrical a, b;"
+            " analog V(b) <+ 2.5 * V(a); endmodule"
+        )
+        report = flow.process(signal_flow_source)
+        assert set(report.timings) == {"conversion"}
+        assert report.timings["conversion"] > 0.0
+        assert report.total_time == report.timings["conversion"]
+
     def test_process_requires_outputs_for_conservative(self, flow, rc1_circuit):
         with pytest.raises(AbstractionError):
             flow.process(rc1_circuit)
