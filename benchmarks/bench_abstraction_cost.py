@@ -66,4 +66,4 @@ def test_code_generation_all_backends(benchmark):
     flow = AbstractionFlow(PAPER_TIMESTEP)
     model = flow.abstract(build_rc_filter(20), "out").model
     artefacts = benchmark(lambda: generate_all(model))
-    assert set(artefacts) == {"cpp", "python", "systemc_de", "systemc_tdf"}
+    assert set(artefacts) == {"cpp", "numpy", "python", "systemc_de", "systemc_tdf"}

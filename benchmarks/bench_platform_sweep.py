@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Benchmark of the platform sweep layer: full virtual platforms in bulk.
+
+Expands a 64-scenario platform design space — analog parameter corners ×
+analog integration styles × firmware variants — and runs every scenario
+through a complete :class:`~repro.vp.platform.SmartSystemPlatform` (MIPS CPU
++ APB + UART + ADC on the DE kernel), comparing:
+
+* ``serial``  — the pre-sweep workflow: one ``platform.run`` after another;
+* ``workers`` — the same scenario list fanned across ``multiprocessing``
+  workers by :class:`~repro.sweep.platform.PlatformSweepRunner`.
+
+Scenario outcomes (instructions, UART bytes, ADC samples, crossing counts)
+must be identical between the two runs; on a multi-core machine the
+acceptance target is a >=4x wall-clock speed-up with 8 workers.
+
+Run with:   PYTHONPATH=src python benchmarks/bench_platform_sweep.py [--smoke]
+
+``--smoke`` shrinks the workload for CI (fewer scenarios, shorter runs) and
+only enforces the serial/parallel equivalence, not the timing target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.circuits import build_rc_filter  # noqa: E402
+from repro.sim import SquareWave  # noqa: E402
+from repro.sweep import GridSpec, PlatformScenarioSpec, PlatformSweepRunner  # noqa: E402
+from repro.vp import averaging_monitor_source, threshold_monitor_source  # noqa: E402
+
+TIMESTEP = 50e-9
+#: Two stimulus families: the paper's square wave at two excitation rates.
+STIMULI = {
+    "fast": {"vin": SquareWave(period=40e-6)},
+    "slow": {"vin": SquareWave(period=80e-6, duty=0.3)},
+}
+
+
+def build_spec(corner_points: int) -> PlatformScenarioSpec:
+    """``corner_points``² analog corners × 4 styles × 2 firmwares × 2 stimuli."""
+    resistances = [4e3 + index * 2e3 / max(corner_points - 1, 1) for index in range(corner_points)]
+    capacitances = [20e-9 + index * 10e-9 / max(corner_points - 1, 1) for index in range(corner_points)]
+    return PlatformScenarioSpec(
+        parameters=GridSpec(
+            axes={"resistance": resistances, "capacitance": capacitances},
+            base={"order": 1},
+        ),
+        styles=("python", "de", "tdf", "eln"),
+        firmwares={
+            "threshold": threshold_monitor_source(100),
+            "averaging": averaging_monitor_source(),
+        },
+        stimuli=("fast", "slow"),
+    )
+
+
+def bench(corner_points: int, duration: float, workers: int, smoke: bool) -> int:
+    spec = build_spec(corner_points)
+    scenarios = len(spec)
+    steps = int(round(duration / TIMESTEP))
+    print(
+        f"Platform sweep: {scenarios} scenarios "
+        f"({corner_points}x{corner_points} analog corners x 4 styles x 2 firmwares "
+        f"x 2 stimulus families), {steps} analog steps each "
+        f"(dt = {TIMESTEP * 1e9:.0f} ns)"
+    )
+
+    def make_runner(n_workers: int) -> PlatformSweepRunner:
+        return PlatformSweepRunner(
+            build_rc_filter,
+            "out",
+            STIMULI,
+            timestep=TIMESTEP,
+            workers=n_workers,
+            record_analog=False,
+        )
+
+    start = time.perf_counter()
+    serial = make_runner(1).run(spec, duration)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = make_runner(workers).run(spec, duration)
+    parallel_wall = time.perf_counter() - start
+
+    identical = serial.fingerprints() == parallel.fingerprints()
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+
+    print(f"  serial  (1 process, wall)      : {serial_wall:8.3f} s")
+    print(f"  workers ({parallel.workers} processes, wall)    : {parallel_wall:8.3f} s "
+          f"-> {speedup:.2f}x vs serial")
+    print(f"  per-scenario outcomes identical: {identical}")
+    print()
+    print(serial.to_markdown().split("## Scenarios")[0])
+
+    if not identical:
+        print("FAIL: multiprocess scenario outcomes deviate from serial execution")
+        return 1
+    if not smoke:
+        cores = os.cpu_count() or 1
+        target = 4.0
+        if cores >= 2 * int(target):
+            verdict = "meets" if speedup >= target else "BELOW"
+            print(f"  -> platform sweep {verdict} the {target:.0f}x acceptance target "
+                  f"({cores} cores)")
+        else:
+            print(f"  -> {cores} core(s): the {target:.0f}x multi-core target "
+                  f"is not assessable on this machine")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI (correctness + plumbing, not timing quality)",
+    )
+    parser.add_argument("--corners", type=int, default=None,
+                        help="analog corner points per axis (scenarios = corners^2 * 16)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the simulated time per scenario in seconds")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="process count for the multiprocess row")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        corners = 1 if arguments.corners is None else arguments.corners
+        duration = 20e-6 if arguments.duration is None else arguments.duration
+        workers = min(arguments.workers, 2)
+    else:
+        # 2x2 corners x 4 styles x 2 firmwares x 2 stimuli = 64 scenarios (the
+        # acceptance configuration: >=3 analog styles, >=2 firmwares, 64 runs).
+        corners = 2 if arguments.corners is None else arguments.corners
+        duration = 100e-6 if arguments.duration is None else arguments.duration
+        workers = arguments.workers
+    if corners < 1:
+        parser.error("--corners must be at least 1")
+    if duration <= 0.0:
+        parser.error("--duration must be positive")
+    return bench(corners, duration, workers, arguments.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,9 +8,10 @@ stimuli used to drive the inputs (the paper's square-wave generator).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
-from ..network.circuit import Circuit
+from ..network.circuit import Circuit, canonical_quantity
 from ..sim.sources import SquareWave
 from .opamp import build_opamp, opamp_source
 from .rc_filter import build_rc_filter, rc_filter_source
@@ -35,7 +36,7 @@ class BenchmarkCircuit:
     @property
     def output_quantity(self) -> str:
         """Canonical name of the observed output quantity."""
-        return self.output if self.output.startswith(("V(", "I(")) else f"V({self.output})"
+        return canonical_quantity(self.output)
 
 
 def _square(amplitude: float = 1.0, period: float = 1e-3, duty: float = 0.5) -> SquareWave:
@@ -63,7 +64,9 @@ def rc_benchmark(order: int) -> BenchmarkCircuit:
         name=f"RC{order}",
         description=f"{order}-order RC low-pass filter",
         vams_source=rc_filter_source(order),
-        build=lambda: build_rc_filter(order),
+        # partial (not a lambda): picklable for multiprocess platform sweeps,
+        # and still accepts resistance/capacitance overrides for sweeps.
+        build=partial(build_rc_filter, order),
         output="out",
         stimuli={"vin": _square()},
     )

@@ -39,10 +39,21 @@ def simulated_time_scale() -> float:
     return scale
 
 
-def scaled_duration(paper_duration: float, minimum_steps: int = 2000) -> float:
-    """Scale a paper duration, keeping at least ``minimum_steps`` analog steps."""
+def scaled_duration(
+    paper_duration: float,
+    minimum_steps: int = 2000,
+    timestep: float = PAPER_TIMESTEP,
+) -> float:
+    """Scale a paper duration, keeping at least ``minimum_steps`` analog steps.
+
+    The result is snapped onto the ``timestep`` grid — an arbitrary
+    ``REPRO_SIM_TIME_SCALE`` (or a non-paper timestep) would otherwise
+    produce durations the fixed-step runners reject as fractional step
+    counts.
+    """
     duration = paper_duration * simulated_time_scale()
-    return max(duration, minimum_steps * PAPER_TIMESTEP)
+    steps = max(int(round(duration / timestep)), minimum_steps)
+    return steps * timestep
 
 
 @dataclass

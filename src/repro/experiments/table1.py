@@ -96,7 +96,7 @@ def run_table1(
     include_reference: bool = True,
 ) -> ExperimentTable:
     """Reproduce Table I (optionally restricted to some components)."""
-    duration = duration if duration is not None else scaled_duration(PAPER_TABLE1_SIMULATED_TIME)
+    duration = duration if duration is not None else scaled_duration(PAPER_TABLE1_SIMULATED_TIME, timestep=timestep)
     table = ExperimentTable(
         "Table I - simulation performance and accuracy for the abstracted models in isolation"
     )

@@ -72,7 +72,7 @@ def run_table2(
     timestep: float = PAPER_TIMESTEP,
 ) -> ExperimentTable:
     """Reproduce Table II (speed-ups relative to SystemC-AMS/ELN)."""
-    duration = duration if duration is not None else scaled_duration(PAPER_TABLE2_SIMULATED_TIME)
+    duration = duration if duration is not None else scaled_duration(PAPER_TABLE2_SIMULATED_TIME, timestep=timestep)
     table = ExperimentTable(
         "Table II - simulation performance for the abstracted models, in isolation, "
         "compared to SystemC-AMS/ELN"

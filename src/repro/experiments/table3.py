@@ -6,11 +6,22 @@ Verilog-AMS co-simulation (two variants in the original table — here a single
 co-simulation configuration) against the SystemC-AMS/ELN, SystemC-AMS/TDF,
 SystemC-DE and pure C++ integrations, reporting platform simulation time and
 speed-up over co-simulation.
+
+Execution is delegated to the platform sweep layer
+(:mod:`repro.sweep.platform`): one Table III component is a
+:class:`~repro.sweep.platform.PlatformScenarioSpec` with a single nominal
+analog point and one scenario per integration style, and
+:func:`sweep_component` exposes the full design-space version (parameter
+corners × styles × firmware variants) the one-shot table cannot show.
 """
 
 from __future__ import annotations
 
-from ..metrics.timing import measure
+from ..sweep.platform import (
+    PlatformScenarioSpec,
+    PlatformSweepResult,
+    PlatformSweepRunner,
+)
 from ..vp.platform import PlatformRunResult, SmartSystemPlatform
 from .common import (
     PAPER_TABLE3_SIMULATED_TIME,
@@ -41,19 +52,56 @@ def build_platform(
     """Build a platform instance with the requested analog integration style."""
     benchmark = prepared.benchmark
     platform = SmartSystemPlatform(cpu_clock_hz=cpu_clock_hz, analog_timestep=timestep)
-    if style == "python":
-        platform.attach_analog_python(prepared.model, benchmark.stimuli)
-    elif style == "de":
-        platform.attach_analog_de(prepared.model, benchmark.stimuli)
-    elif style == "tdf":
-        platform.attach_analog_tdf(prepared.model, benchmark.stimuli)
-    elif style == "eln":
-        platform.attach_analog_eln(benchmark.circuit(), benchmark.stimuli, prepared.output)
-    elif style == "cosim":
-        platform.attach_analog_cosim(benchmark.circuit(), benchmark.stimuli, prepared.output)
+    if style in ("python", "de", "tdf"):
+        platform.attach_analog(style, benchmark.stimuli, model=prepared.model)
+    elif style in ("eln", "cosim"):
+        platform.attach_analog(
+            style,
+            benchmark.stimuli,
+            circuit=benchmark.circuit(),
+            output=prepared.output,
+        )
     else:
         raise ValueError(f"unknown analog integration style {style!r}")
     return platform
+
+
+def sweep_component(
+    prepared: PreparedBenchmark,
+    duration: float,
+    styles: "tuple[str, ...]",
+    cpu_clock_hz: float = 20e6,
+    timestep: float = PAPER_TIMESTEP,
+    workers: int = 1,
+    record_analog: bool = False,
+    parameters=None,
+    firmwares=None,
+) -> PlatformSweepResult:
+    """Run one component's platform across ``styles`` via the sweep layer.
+
+    ``parameters`` (any :class:`~repro.sweep.spec.SweepSpec`) and
+    ``firmwares`` (variant name → assembly source) open the full design
+    space around the component; by default a single nominal point with the
+    default firmware reproduces the classic Table III column.  The nominal
+    point reuses the abstraction ``prepared`` already carries; non-nominal
+    parameter points are abstracted inside the sweep workers.
+    """
+    benchmark = prepared.benchmark
+    runner = PlatformSweepRunner(
+        benchmark.build,
+        benchmark.output,
+        benchmark.stimuli,
+        timestep=timestep,
+        cpu_clock_hz=cpu_clock_hz,
+        workers=workers,
+        record_analog=record_analog,
+        # the harness already abstracted the nominal point; don't redo it
+        premade_models=[({}, prepared.model)],
+    )
+    spec = PlatformScenarioSpec(
+        parameters=parameters, styles=styles, firmwares=firmwares
+    )
+    return runner.run(spec, duration)
 
 
 def run_component(
@@ -63,17 +111,23 @@ def run_component(
     timestep: float = PAPER_TIMESTEP,
     styles: tuple = TABLE3_TARGETS,
 ) -> tuple[list[ExperimentRow], dict[str, PlatformRunResult]]:
-    """Run every platform configuration of Table III for one component."""
+    """Run every platform configuration of Table III for one component.
+
+    The first style listed is the speed-up baseline, as in the paper.
+    """
+    style_keys = tuple(style for _, _, style in styles)
+    sweep = sweep_component(
+        prepared, duration, style_keys, cpu_clock_hz=cpu_clock_hz, timestep=timestep
+    )
+    summary = sweep.summary_by_style()
+    baseline_time = summary[style_keys[0]]["mean_time"]
+
     rows: list[ExperimentRow] = []
     results: dict[str, PlatformRunResult] = {}
-    baseline_time: float | None = None
-
-    for label, generation, style in styles:
-        platform = build_platform(prepared, style, cpu_clock_hz, timestep)
-        result, elapsed = measure(lambda: platform.run(duration))
+    for (label, generation, style), result in zip(styles, sweep.results):
+        entry = summary[style]
+        elapsed = entry["mean_time"]
         results[style] = result
-        if baseline_time is None:
-            baseline_time = elapsed
         rows.append(
             ExperimentRow(
                 component=prepared.name,
@@ -97,7 +151,7 @@ def run_table3(
     timestep: float = PAPER_TIMESTEP,
 ) -> ExperimentTable:
     """Reproduce Table III (platform simulation, speed-up over co-simulation)."""
-    duration = duration if duration is not None else scaled_duration(PAPER_TABLE3_SIMULATED_TIME)
+    duration = duration if duration is not None else scaled_duration(PAPER_TABLE3_SIMULATED_TIME, timestep=timestep)
     table = ExperimentTable(
         "Table III - simulation performance for the abstracted models integrated "
         "in the virtual platform"

@@ -88,6 +88,21 @@ def _is_negation(node: Expr) -> bool:
 
 
 def _simplify_binary(node: BinaryOp) -> Expr:
+    """Apply the binary rules until the node stops changing.
+
+    A rewrite can expose another rule (``x + (-x)`` becomes ``x - x``, which
+    folds to ``0``), so the rules are re-applied locally until a fixpoint —
+    this is what makes one ``simplify`` pass idempotent.  Every rewrite
+    either folds to a leaf or strips a negation, so the loop terminates.
+    """
+    result = _simplify_binary_once(node)
+    while result is not node and isinstance(result, BinaryOp):
+        node = result
+        result = _simplify_binary_once(node)
+    return result
+
+
+def _simplify_binary_once(node: BinaryOp) -> Expr:
     lhs, rhs = node.lhs, node.rhs
     if isinstance(lhs, Constant) and isinstance(rhs, Constant):
         folded = _fold_binary(node.op, lhs.value, rhs.value)

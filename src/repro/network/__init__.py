@@ -1,6 +1,13 @@
 """Electrical-network substrate: circuits, components, topology and MNA."""
 
-from .circuit import Branch, Circuit, Node, count_state_variables, iter_components
+from .circuit import (
+    Branch,
+    Circuit,
+    Node,
+    canonical_quantity,
+    count_state_variables,
+    iter_components,
+)
 from .components import (
     VCCS,
     VCVS,
@@ -35,6 +42,7 @@ __all__ = [
     "Node",
     "Resistor",
     "TransientResult",
+    "canonical_quantity",
     "VCCS",
     "VCVS",
     "VoltageControlledCurrentSource",

@@ -283,6 +283,15 @@ class Circuit:
             )
 
 
+def canonical_quantity(name: str) -> str:
+    """Canonical form of an observed quantity: bare node names mean voltages.
+
+    ``"out"`` becomes ``"V(out)"``; names already written as a voltage or
+    current quantity (``"V(...)"``, ``"I(...)"``) pass through unchanged.
+    """
+    return name if name.startswith(("V(", "I(")) else f"V({name})"
+
+
 def count_state_variables(circuit: Circuit) -> int:
     """Return the number of energy-storage elements (capacitors and inductors)."""
     return sum(

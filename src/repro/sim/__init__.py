@@ -17,6 +17,7 @@ from .integration import (
     TdfToDeSignal,
 )
 from .runners import (
+    resolve_steps,
     run_de_model,
     run_eln_model,
     run_interpreted_model,
@@ -72,6 +73,7 @@ __all__ = [
     "run_de_model",
     "run_eln_model",
     "run_interpreted_model",
+    "resolve_steps",
     "run_python_model",
     "run_reference_model",
     "run_tdf_model",

@@ -18,7 +18,7 @@ timed notification.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, Iterable
 
 from ...errors import SimulationError
@@ -118,6 +118,10 @@ class Kernel:
         self._runnable: list[Callable[[], None]] = []
         self._delta_pending: list[Callable[[], None]] = []
         self._update_requests: list["SignalUpdate"] = []
+        # Spare list objects recycled by the delta-cycle loop; allocating fresh
+        # lists every delta dominated the kernel's allocation profile.
+        self._runnable_spare: list[Callable[[], None]] = []
+        self._update_spare: list["SignalUpdate"] = []
         self._running = False
         self._finished = False
         self.delta_count = 0
@@ -129,24 +133,43 @@ class Kernel:
         if delay < 0.0:
             raise SimulationError("cannot schedule an action in the past")
         self._sequence += 1
-        heapq.heappush(self._timed, (quantize(self.now + delay), self._sequence, action))
+        heappush(self._timed, (quantize(self.now + delay), self._sequence, action))
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> None:
         """Schedule ``action`` at the absolute time ``time``."""
         self.schedule(max(0.0, time - self.now), action)
+
+    def schedule_abs(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at the absolute (quantised) time ``time``.
+
+        Equivalent to :meth:`schedule_at` but skips the relative-delay round
+        trip; times earlier than ``now`` are clamped to ``now``.  This is the
+        fast path used by periodic processes, which already know the absolute
+        grid point they fire at next.
+        """
+        at = quantize(time)
+        now = self.now
+        if at < now:
+            at = now
+        self._sequence += 1
+        heappush(self._timed, (at, self._sequence, action))
 
     def _schedule_delta(self, action: Callable[[], None]) -> None:
         self._delta_pending.append(action)
 
     def _trigger_event(self, event: Event) -> None:
         self.event_count += 1
-        for callback in event._waiting_methods:
-            self._runnable.append(callback)
+        # Static sensitivity lists are dispatched with one C-level extend
+        # instead of a per-callback Python loop.
+        methods = event._waiting_methods
+        if methods:
+            self._runnable.extend(methods)
         waiting = event._waiting_threads
         if waiting:
             event._waiting_threads = []
+            runnable = self._runnable
             for process in waiting:
-                self._runnable.append(process.resume)
+                runnable.append(process.resume)
 
     def request_update(self, update: "SignalUpdate") -> None:
         """Queue a signal update to be applied at the end of the evaluation phase."""
@@ -176,19 +199,21 @@ class Kernel:
         self._running = True
         self._finished = False
         end_time = None if duration is None else quantize(self.now + duration)
+        timed = self._timed
         try:
             while not self._finished:
                 self._run_delta_cycles()
-                if not self._timed:
+                if not timed:
                     break
-                next_time = self._timed[0][0]
+                next_time = timed[0][0]
                 if end_time is not None and next_time > end_time + 1e-18:
                     self.now = end_time
                     break
                 self.now = next_time
-                while self._timed and self._timed[0][0] <= next_time + 1e-18:
-                    _, _, action = heapq.heappop(self._timed)
-                    self._runnable.append(action)
+                horizon = next_time + 1e-18
+                runnable = self._runnable
+                while timed and timed[0][0] <= horizon:
+                    runnable.append(heappop(timed)[2])
         finally:
             self._running = False
         if end_time is not None and self.now < end_time:
@@ -199,19 +224,36 @@ class Kernel:
         while self._runnable or self._delta_pending:
             if self._finished:
                 return
-            # Evaluation phase.
-            self._runnable.extend(self._delta_pending)
-            self._delta_pending = []
+            # Evaluation phase.  The drained lists are recycled as the next
+            # delta's spares instead of being re-allocated; actions triggered
+            # during evaluation land in the (empty) swapped-in lists, so the
+            # visibility semantics are identical to the allocating version.
             runnable = self._runnable
-            self._runnable = []
-            for action in runnable:
-                action()
-            # Update phase.
-            if self._update_requests:
-                updates = self._update_requests
-                self._update_requests = []
-                for update in updates:
-                    update.apply()
+            pending = self._delta_pending
+            if pending:
+                runnable.extend(pending)
+                pending.clear()
+            # Swap BEFORE running the actions and clear in a finally, so an
+            # exception escaping a process can neither alias the two lists
+            # nor leave stale actions behind for the next run() call.
+            self._runnable = self._runnable_spare
+            self._runnable_spare = runnable
+            try:
+                for action in runnable:
+                    action()
+            finally:
+                runnable.clear()
+            # Update phase.  Updates requested while applying updates belong
+            # to the next delta, hence the swap before iterating.
+            updates = self._update_requests
+            if updates:
+                self._update_requests = self._update_spare
+                self._update_spare = updates
+                try:
+                    for update in updates:
+                        update.apply()
+                finally:
+                    updates.clear()
             self.delta_count += 1
 
     # -- queries ---------------------------------------------------------------------------

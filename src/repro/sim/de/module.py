@@ -115,14 +115,15 @@ class PeriodicTicker(Module):
         self.period = period
         self.callback = callback
         self.tick_count = 0
-        self._origin = kernel.now
         self._first_delay = period if start_delay is None else start_delay
+        # Ticks fire on the absolute grid (origin + first + k*period) so that
+        # millions of ticks do not drift away from the nominal timestep.
+        self._grid_origin = kernel.now + self._first_delay
         self.kernel.schedule(self._first_delay, self._tick)
 
     def _tick(self) -> None:
         self.tick_count += 1
         self.callback(self.kernel.now)
-        # Schedule against the absolute grid (origin + first + k*period) so
-        # that millions of ticks do not drift away from the nominal timestep.
-        next_time = self._origin + self._first_delay + self.tick_count * self.period
-        self.kernel.schedule_at(next_time, self._tick)
+        self.kernel.schedule_abs(
+            self._grid_origin + self.tick_count * self.period, self._tick
+        )

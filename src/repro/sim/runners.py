@@ -13,6 +13,7 @@ from typing import Callable, Mapping
 
 from ..core.signalflow import SignalFlowModel
 from ..core.codegen.python_backend import compile_model_cached
+from ..errors import SimulationError
 from ..network.circuit import Circuit
 from .ams import ReferenceAmsSimulator
 from .de import Kernel
@@ -30,6 +31,42 @@ from .trace import Trace, TraceSet
 
 Stimuli = Mapping[str, Callable[[float], float]]
 
+#: Relative slack allowed between ``duration / timestep`` and the nearest
+#: integer.  A duration built as ``n * dt`` carries only a few ulps of error
+#: (~1e-16 relative), so 1e-12 of the ratio accepts every legitimate float
+#: rounding while still flagging a half-step drop up to ~5e11 steps; the
+#: 1e-9 floor keeps short runs equally tolerant.
+STEP_COUNT_TOLERANCE = 1e-12
+STEP_COUNT_TOLERANCE_FLOOR = 1e-9
+
+
+def resolve_steps(duration: float, timestep: float) -> int:
+    """Number of fixed steps covering ``duration``, validating divisibility.
+
+    Fixed-timestep runners used to compute ``int(round(duration / dt))``,
+    which silently swallowed fractional durations (``duration=2.5*dt`` ran
+    two steps, simulating less time than asked).  This helper raises a
+    :class:`SimulationError` instead, unless ``duration`` is an integer
+    multiple of ``timestep`` within :data:`STEP_COUNT_TOLERANCE`.
+    """
+    if timestep <= 0.0:
+        raise SimulationError(f"timestep must be positive, got {timestep!r}")
+    ratio = duration / timestep
+    steps = int(round(ratio))
+    if steps <= 0:
+        raise SimulationError(
+            f"duration {duration!r} is shorter than one timestep {timestep!r}"
+        )
+    slack = max(STEP_COUNT_TOLERANCE_FLOOR, STEP_COUNT_TOLERANCE * abs(ratio))
+    if abs(ratio - steps) > slack:
+        raise SimulationError(
+            f"duration {duration!r} is not an integer multiple of the "
+            f"timestep {timestep!r} (duration/timestep = {ratio!r}); pick a "
+            f"duration of n * timestep so no simulated time is silently "
+            f"dropped"
+        )
+    return steps
+
 
 def run_python_model(
     model: "SignalFlowModel | object",
@@ -44,7 +81,7 @@ def run_python_model(
     output_names = list(instance.OUTPUTS)
     waveforms = [stimuli[name] for name in input_names]
     traces = TraceSet({name: Trace(name) for name in output_names})
-    steps = int(round(duration / dt))
+    steps = resolve_steps(duration, dt)
     single_output = len(output_names) == 1
     step = instance.step
     for index in range(steps):
@@ -66,6 +103,7 @@ def run_de_model(
     """Run the generated model inside the discrete-event kernel (SystemC-DE row)."""
     instance = _instantiate(model)
     dt = float(instance.TIMESTEP)
+    resolve_steps(duration, dt)
     kernel = Kernel()
     sources = {
         name: DeSourceModule(kernel, f"src_{name}", stimuli[name], dt)
@@ -93,6 +131,7 @@ def run_tdf_model(
     """Run the generated model inside the TDF kernel (SystemC-AMS/TDF row)."""
     instance = _instantiate(model)
     dt = float(instance.TIMESTEP)
+    resolve_steps(duration, dt)
     cluster = TdfCluster("isolation")
     device = cluster.add(TdfSignalFlowModule("dut", instance))
     probes: dict[str, TdfProbeModule] = {}
@@ -115,6 +154,7 @@ def run_eln_model(
     record: list[str],
 ) -> TraceSet:
     """Run the conservative ELN solver standalone (SystemC-AMS/ELN row)."""
+    resolve_steps(duration, timestep)
     model = ElnModel(circuit, timestep)
     return model.run(stimuli, duration, record)
 
@@ -129,6 +169,7 @@ def run_reference_model(
     solver_iterations: int = 2,
 ) -> TraceSet:
     """Run the reference Verilog-AMS engine standalone (the golden baseline)."""
+    resolve_steps(duration, timestep)
     simulator = ReferenceAmsSimulator(
         circuit,
         timestep,
@@ -144,6 +185,7 @@ def run_interpreted_model(
     duration: float,
 ) -> TraceSet:
     """Run the signal-flow model through its interpreted ``step`` (for checks)."""
+    resolve_steps(duration, float(model.timestep))
     trace = model.run(stimuli, duration)
     traces = TraceSet()
     for name in model.outputs:

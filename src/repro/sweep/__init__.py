@@ -12,7 +12,13 @@ them.  This package provides it:
   NumPy backend, chunks across ``multiprocessing`` workers, and reuses
   compiled classes through the source-digest cache;
 * :mod:`~repro.sweep.results` — :class:`SweepResult`, the ensemble waveform
-  matrices with envelope/summary aggregation and markdown/CSV reports.
+  matrices with envelope/summary aggregation and markdown/CSV reports;
+* :mod:`~repro.sweep.platform` — the same idea one level up:
+  :class:`PlatformScenarioSpec` / :class:`PlatformSweepRunner` /
+  :class:`PlatformSweepResult` sweep the *complete* smart-system virtual
+  platform (firmware, bus, ADC and all) across analog parameters ×
+  integration styles × firmware variants × stimulus families, with
+  Table-III-style aggregation.
 
 Quick start::
 
@@ -32,8 +38,15 @@ Quick start::
     print(result.to_markdown())
 """
 
+from .platform import (
+    PlatformScenario,
+    PlatformScenarioSpec,
+    PlatformSweepConfig,
+    PlatformSweepResult,
+    PlatformSweepRunner,
+)
 from .results import SweepResult
-from .runner import SweepConfig, SweepError, SweepRunner
+from .runner import SweepConfig, SweepError, SweepRunner, map_scenario_chunks
 from .spec import (
     CompositeSpec,
     CornerSpec,
@@ -48,10 +61,16 @@ __all__ = [
     "CornerSpec",
     "GridSpec",
     "MonteCarloSpec",
+    "PlatformScenario",
+    "PlatformScenarioSpec",
+    "PlatformSweepConfig",
+    "PlatformSweepResult",
+    "PlatformSweepRunner",
     "Scenario",
     "SweepConfig",
     "SweepError",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "map_scenario_chunks",
 ]

@@ -1,0 +1,732 @@
+"""Platform-scale scenario sweeps: the whole virtual platform as the unit of work.
+
+:class:`~repro.sweep.runner.SweepRunner` batches bare signal-flow models; the
+paper's headline claim (Table III), however, is about the *complete* smart
+system — MIPS firmware, bus, UART and ADC on top of the discrete-event
+kernel, with one analog subsystem plugged in.  This module scales that
+configuration out:
+
+* :class:`PlatformScenarioSpec` composes four orthogonal axes into a flat
+  scenario list — analog circuit parameters (any
+  :class:`~repro.sweep.spec.SweepSpec`: grid, corners, Monte-Carlo), analog
+  integration style (``cosim``/``eln``/``tdf``/``de``/``python``), firmware
+  variant, and stimulus family;
+* :class:`PlatformSweepRunner` fans the scenarios across ``multiprocessing``
+  workers (serial fallback, deterministic per-scenario seeds) and runs each
+  one through a fresh :class:`~repro.vp.platform.SmartSystemPlatform`;
+* :class:`PlatformSweepResult` aggregates the
+  :class:`~repro.vp.platform.PlatformRunResult` of every scenario into
+  Table-III-style per-style summaries — wall-clock time, speed-up versus the
+  co-simulation baseline, instruction counts, cross-style NRMSE of the ADC
+  sample stream — with markdown/CSV reports.
+
+Scenario outcomes are deterministic: a scenario's software-visible result
+(:meth:`PlatformRunResult.fingerprint`) is identical whether it ran in the
+serial loop or in a worker process, which is what makes multiprocess platform
+sweeps trustworthy for design-space exploration.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.flow import AbstractionFlow
+from ..core.signalflow import SignalFlowModel
+from ..errors import SimulationError
+from ..metrics.nrmse import nrmse
+from ..network.circuit import Circuit, canonical_quantity
+from ..sim.runners import resolve_steps
+from ..vp.platform import ANALOG_STYLES, PlatformRunResult, SmartSystemPlatform
+from .runner import SweepError, map_scenario_chunks
+from .spec import Scenario, SweepSpec, _format_value
+
+Stimuli = Mapping[str, Callable[[float], float]]
+
+#: A stimulus family: either a ready-made stimulus mapping, or a factory
+#: called with the scenario's seed (for randomized/jittered stimulus sets —
+#: the factory runs inside the worker, so multiprocess runs regenerate the
+#: exact same waveforms as serial ones).
+StimulusFamily = "Stimuli | Callable[[int], Stimuli]"
+
+#: Styles that integrate the *abstracted* signal-flow model (need a model).
+ABSTRACTED_STYLES = ("python", "de", "tdf")
+#: Styles that solve the conservative circuit directly (need the netlist).
+CONSERVATIVE_STYLES = ("eln", "cosim")
+
+
+@dataclass
+class PlatformScenario:
+    """One platform configuration: analog point × style × firmware × stimulus."""
+
+    index: int
+    label: str
+    params: dict[str, float]
+    style: str
+    firmware: str
+    stimulus: str
+    seed: int
+    origin: str = "platform"
+
+    def analog_key(self) -> tuple:
+        """Everything but the integration style — scenarios sharing this key
+        simulate the same smart system and should agree on the outcome."""
+        return (
+            tuple(sorted(self.params.items())),
+            self.firmware,
+            self.stimulus,
+        )
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{name}={_format_value(value)}" for name, value in self.params.items()
+        )
+        parts = [self.style, f"fw={self.firmware}", f"stim={self.stimulus}"]
+        if params:
+            parts.append(params)
+        return f"[{self.index}] {' '.join(parts)}"
+
+
+@dataclass
+class PlatformScenarioSpec:
+    """Cartesian composition of the four platform sweep axes.
+
+    ``parameters`` reuses the signal-flow sweep machinery — any
+    :class:`~repro.sweep.spec.SweepSpec` (grid/corners/Monte-Carlo, including
+    composites) or an explicit scenario list; ``None`` means a single nominal
+    point with the factory's default parameters.  ``firmwares`` maps a
+    variant name to its assembly source (``None`` source = the platform's
+    default threshold-monitor firmware).  ``stimuli`` lists the stimulus
+    family *names*; the runner resolves them against its family table.
+
+    Expansion is deterministic and row-major with the integration style
+    innermost, so all styles of one analog point are adjacent and reports
+    read in Table III order.  (Multiprocess chunk boundaries are not snapped
+    to those groups; a chunk cut inside one costs at most one repeated
+    abstraction per worker, since the abstraction memo is per-chunk.)
+    Every scenario receives a deterministic ``seed``
+    derived from its *analog* axes (parameter point × stimulus × firmware),
+    shared by all integration styles of that point — seed-aware stimulus
+    families therefore drive every style of one smart system with identical
+    waveforms, preserving the cross-style equivalence guarantee.
+    """
+
+    parameters: "SweepSpec | Sequence[Scenario] | None" = None
+    styles: Sequence[str] = ("python",)
+    firmwares: "Mapping[str, str | None] | None" = None
+    stimuli: Sequence[str] = ("default",)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.styles:
+            raise SweepError("a platform spec needs at least one analog style")
+        unknown = [style for style in self.styles if style not in ANALOG_STYLES]
+        if unknown:
+            raise SweepError(
+                f"unknown analog integration style(s) {unknown}; "
+                f"expected a subset of {ANALOG_STYLES}"
+            )
+        if len(set(self.styles)) != len(list(self.styles)):
+            raise SweepError("duplicate analog styles in the platform spec")
+        if self.firmwares is not None and not self.firmwares:
+            raise SweepError("the firmware table must name at least one variant")
+        if not self.stimuli:
+            raise SweepError("a platform spec needs at least one stimulus family")
+
+    # -- axis expansion ----------------------------------------------------------------
+    def firmware_table(self) -> dict[str, "str | None"]:
+        """The firmware variants swept over (name → assembly source)."""
+        if self.firmwares is None:
+            return {"default": None}
+        return dict(self.firmwares)
+
+    def _parameter_scenarios(self) -> list[Scenario]:
+        if self.parameters is None:
+            points = [Scenario(index=0, label="nominal", params={}, origin="nominal")]
+        elif isinstance(self.parameters, SweepSpec):
+            points = self.parameters.expand()
+        else:
+            points = list(self.parameters)
+        carrying = [point.label for point in points if point.stimuli is not None]
+        if carrying:
+            # Platform scenarios select stimuli by *family name* (resolved by
+            # the runner); honoring a per-point stimulus mapping here would
+            # silently bypass that, so make the conflict loud instead.
+            raise SweepError(
+                f"parameter scenarios {carrying[:3]} carry their own stimuli; "
+                f"platform sweeps select stimuli through the spec's stimulus "
+                f"families instead"
+            )
+        return points
+
+    def expand(self) -> list[PlatformScenario]:
+        """The flat, deterministically ordered platform scenario list."""
+        scenarios: list[PlatformScenario] = []
+        firmware_names = list(self.firmware_table())
+        analog_index = 0
+        for point in self._parameter_scenarios():
+            for stimulus in self.stimuli:
+                for firmware in firmware_names:
+                    seed = self.seed + analog_index
+                    analog_index += 1
+                    for style in self.styles:
+                        scenarios.append(
+                            PlatformScenario(
+                                index=len(scenarios),
+                                label=point.label,
+                                params=dict(point.params),
+                                style=style,
+                                firmware=firmware,
+                                stimulus=stimulus,
+                                seed=seed,
+                                origin=point.origin,
+                            )
+                        )
+        return scenarios
+
+    def __len__(self) -> int:
+        points = len(self._parameter_scenarios())
+        return points * len(list(self.stimuli)) * len(self.firmware_table()) * len(
+            list(self.styles)
+        )
+
+
+@dataclass
+class PlatformSweepConfig:
+    """The picklable execution recipe shipped to every worker process."""
+
+    factory: Callable[..., Circuit]
+    output: str
+    timestep: float
+    duration: float
+    cpu_clock_hz: float
+    stimuli: dict[str, StimulusFamily]
+    firmwares: dict[str, "str | None"]
+    method: str = "backward_euler"
+    record_analog: bool = True
+    cosim_options: dict[str, int] = field(default_factory=dict)
+    #: Pre-abstracted models keyed by the sorted parameter tuple; seeds the
+    #: per-chunk abstraction memo so callers that already ran the abstraction
+    #: flow (e.g. the Table III harness) do not pay for it twice.
+    premade_models: dict[tuple, SignalFlowModel] = field(default_factory=dict)
+
+    @property
+    def output_quantity(self) -> str:
+        return canonical_quantity(self.output)
+
+
+def _resolve_stimuli(config: PlatformSweepConfig, scenario: PlatformScenario) -> Stimuli:
+    try:
+        family = config.stimuli[scenario.stimulus]
+    except KeyError as exc:
+        raise SweepError(
+            f"scenario {scenario.describe()} names stimulus family "
+            f"{scenario.stimulus!r}, but the runner only knows "
+            f"{sorted(config.stimuli)}"
+        ) from exc
+    if callable(family):
+        return family(scenario.seed)
+    return family
+
+
+def _run_platform_scenario(
+    config: PlatformSweepConfig,
+    scenario: PlatformScenario,
+    model_memo: dict,
+) -> tuple[PlatformRunResult, float]:
+    """Build, attach and run one platform configuration; returns (result, wall)."""
+    stimuli = _resolve_stimuli(config, scenario)
+    platform = SmartSystemPlatform(
+        cpu_clock_hz=config.cpu_clock_hz,
+        analog_timestep=config.timestep,
+        firmware=config.firmwares[scenario.firmware],
+        record_analog=config.record_analog,
+    )
+    if scenario.style in ABSTRACTED_STYLES:
+        # Build the circuit only on a memo miss: with a seeded/memoised model
+        # the netlist is never needed (and the factory is never called).
+        key = tuple(sorted(scenario.params.items()))
+        model = model_memo.get(key)
+        if model is None:
+            circuit = config.factory(**scenario.params)
+            flow = AbstractionFlow(config.timestep, method=config.method)
+            model = flow.abstract(
+                circuit, config.output, name=circuit.name
+            ).model
+            model_memo[key] = model
+        platform.attach_analog(scenario.style, stimuli, model=model)
+    else:
+        platform.attach_analog(
+            scenario.style,
+            stimuli,
+            circuit=config.factory(**scenario.params),
+            output=config.output_quantity,
+            **(config.cosim_options if scenario.style == "cosim" else {}),
+        )
+    start = _time.perf_counter()
+    result = platform.run(config.duration)
+    return result, _time.perf_counter() - start
+
+
+def _run_platform_chunk(
+    payload: tuple[PlatformSweepConfig, list[PlatformScenario]],
+) -> dict:
+    """Run one contiguous chunk of platform scenarios (worker entry point)."""
+    config, scenarios = payload
+    results: list[PlatformRunResult] = []
+    elapsed: list[float] = []
+    # The abstracted model depends only on the analog parameters, so the
+    # three abstracted styles of one analog point share one abstraction.
+    model_memo: dict[tuple, SignalFlowModel] = dict(config.premade_models)
+    for scenario in scenarios:
+        result, wall = _run_platform_scenario(config, scenario, model_memo)
+        results.append(result)
+        elapsed.append(wall)
+    return {"results": results, "elapsed": elapsed}
+
+
+class PlatformSweepRunner:
+    """Expand a platform spec, run every scenario, aggregate into a result.
+
+    Parameters
+    ----------
+    factory:
+        Circuit factory called with each scenario's analog parameters.  Must
+        be picklable (a module-level function) for multiprocess runs.
+    output:
+        The analog output observed by the ADC bridge (``"out"`` or
+        ``"V(out)"``).
+    stimuli:
+        Either one stimulus mapping (registered as the ``"default"`` family)
+        or a mapping of family name → stimulus family; a family may be a
+        callable taking the scenario seed for randomized stimuli.
+    timestep / cpu_clock_hz / method:
+        Platform construction parameters (analog timestep, CPU clock) and
+        the discretisation method of the abstraction flow.
+    families:
+        Forces the interpretation of ``stimuli``: ``True`` = family table,
+        ``False`` = plain stimulus mapping, ``None`` (default) = auto-detect
+        (any ``Mapping`` value means a family table).  Only needed for a
+        family table whose every family is a seed-taking factory, which is
+        indistinguishable from a plain waveform mapping by inspection.
+    workers:
+        ``multiprocessing`` worker count; ``1`` runs serially.  Multiprocess
+        and serial runs produce identical per-scenario outcomes.
+    record_analog:
+        Record the ADC sample stream of every run (needed for cross-style
+        NRMSE columns; costs one float per analog timestep).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Circuit],
+        output: str,
+        stimuli: "Stimuli | Mapping[str, StimulusFamily]",
+        timestep: float = 50e-9,
+        cpu_clock_hz: float = 20e6,
+        method: str = "backward_euler",
+        families: "bool | None" = None,
+        workers: int = 1,
+        record_analog: bool = True,
+        cosim_options: "Mapping[str, int] | None" = None,
+        premade_models: "Sequence[tuple[Mapping[str, float], SignalFlowModel]] | None" = None,
+    ) -> None:
+        if timestep <= 0.0:
+            raise ValueError("timestep must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.factory = factory
+        self.output = output
+        self.stimuli = self._normalise_families(stimuli, families)
+        self.timestep = float(timestep)
+        self.cpu_clock_hz = float(cpu_clock_hz)
+        self.method = method
+        self.workers = int(workers)
+        self.record_analog = bool(record_analog)
+        self.cosim_options = dict(cosim_options or {})
+        #: (params, model) pairs of already-abstracted analog points.
+        self.premade_models = {
+            tuple(sorted(params.items())): model
+            for params, model in (premade_models or ())
+        }
+
+    @staticmethod
+    def _normalise_families(
+        stimuli: "Stimuli | Mapping[str, StimulusFamily]",
+        families: "bool | None",
+    ) -> dict[str, StimulusFamily]:
+        """A plain input-name → waveform mapping becomes the default family."""
+        if not stimuli:
+            raise SweepError("the platform sweep needs at least one stimulus")
+        if families is None:
+            families = any(isinstance(value, Mapping) for value in stimuli.values())
+        if families:
+            return {name: family for name, family in stimuli.items()}
+        return {"default": dict(stimuli)}
+
+    # -- execution ---------------------------------------------------------------------
+    def run(
+        self,
+        spec: "PlatformScenarioSpec | Sequence[PlatformScenario]",
+        duration: float,
+        firmwares: "Mapping[str, str | None] | None" = None,
+    ) -> "PlatformSweepResult":
+        """Simulate every scenario of ``spec`` for ``duration`` seconds.
+
+        A plain scenario list (e.g. a filtered ``spec.expand()``) carries
+        firmware *names* only, so the sources must be supplied via
+        ``firmwares`` — scenarios naming anything but ``"default"`` are
+        rejected otherwise, rather than silently running on the platform's
+        default firmware.
+        """
+        if isinstance(spec, PlatformScenarioSpec):
+            scenarios = spec.expand()
+            if firmwares is None:
+                firmwares = spec.firmware_table()
+        else:
+            scenarios = list(spec)
+            if firmwares is None:
+                named = {scenario.firmware for scenario in scenarios}
+                unknown = sorted(named - {"default"})
+                if unknown:
+                    raise SweepError(
+                        f"a plain scenario list names firmware variants "
+                        f"{unknown} but no sources were given; pass "
+                        f"run(..., firmwares={{name: source}}) or run the "
+                        f"PlatformScenarioSpec itself"
+                    )
+                firmwares = {name: None for name in named}
+        firmwares = dict(firmwares)
+        missing_firmware = sorted(
+            {s.firmware for s in scenarios} - set(firmwares)
+        )
+        if missing_firmware:
+            raise SweepError(
+                f"scenarios reference unknown firmware variants "
+                f"{missing_firmware}; the firmware table has {sorted(firmwares)}"
+            )
+        if not scenarios:
+            raise SweepError("the platform spec expanded to zero scenarios")
+        try:
+            resolve_steps(duration, self.timestep)
+        except SimulationError as exc:
+            raise SweepError(str(exc)) from exc
+        missing = [
+            scenario.stimulus
+            for scenario in scenarios
+            if scenario.stimulus not in self.stimuli
+        ]
+        if missing:
+            raise SweepError(
+                f"scenarios reference unknown stimulus families "
+                f"{sorted(set(missing))}; the runner knows {sorted(self.stimuli)}"
+            )
+
+        config = PlatformSweepConfig(
+            factory=self.factory,
+            output=self.output,
+            timestep=self.timestep,
+            duration=float(duration),
+            cpu_clock_hz=self.cpu_clock_hz,
+            stimuli=self.stimuli,
+            firmwares=dict(firmwares),
+            method=self.method,
+            record_analog=self.record_analog,
+            cosim_options=self.cosim_options,
+            premade_models=self.premade_models,
+        )
+
+        wall_start = _time.perf_counter()
+        workers_used = 1
+        chunk_results = None
+        if self.workers > 1 and len(scenarios) > 1:
+            chunk_results = map_scenario_chunks(
+                _run_platform_chunk, config, scenarios, self.workers
+            )
+            if chunk_results is not None:
+                workers_used = min(self.workers, len(scenarios))
+        if chunk_results is None:
+            chunk_results = [_run_platform_chunk((config, scenarios))]
+
+        results: list[PlatformRunResult] = []
+        elapsed: list[float] = []
+        for chunk in chunk_results:
+            results.extend(chunk["results"])
+            elapsed.extend(chunk["elapsed"])
+        return PlatformSweepResult(
+            scenarios=scenarios,
+            results=results,
+            elapsed=np.asarray(elapsed, dtype=float),
+            duration=float(duration),
+            timestep=self.timestep,
+            workers=workers_used,
+            timings={
+                "wall": _time.perf_counter() - wall_start,
+                "simulate": float(sum(elapsed)),
+            },
+        )
+
+
+@dataclass
+class PlatformSweepResult:
+    """Everything produced by one :class:`PlatformSweepRunner` run."""
+
+    scenarios: list[PlatformScenario]
+    results: list[PlatformRunResult]
+    #: Per-scenario wall-clock seconds spent inside ``platform.run``.
+    elapsed: np.ndarray
+    duration: float
+    timestep: float
+    workers: int = 1
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Memoised scenario_nrmse() result; the traces are immutable after the
+    #: run and the reports query the errors once per row.
+    _nrmse_cache: "np.ndarray | None | bool" = field(
+        default=False, init=False, repr=False, compare=False
+    )
+
+    # -- shape queries -----------------------------------------------------------------
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    def styles(self) -> list[str]:
+        """The integration styles present, in first-appearance order."""
+        seen: list[str] = []
+        for scenario in self.scenarios:
+            if scenario.style not in seen:
+                seen.append(scenario.style)
+        return seen
+
+    @property
+    def baseline_style(self) -> str:
+        """The style speed-ups are measured against: co-simulation when it is
+        part of the sweep (the paper's pre-abstraction configuration),
+        otherwise the first style swept."""
+        styles = self.styles()
+        return "cosim" if "cosim" in styles else styles[0]
+
+    # -- determinism -------------------------------------------------------------------
+    def fingerprints(self) -> list[tuple]:
+        """Per-scenario deterministic outcomes (see
+        :meth:`~repro.vp.platform.PlatformRunResult.fingerprint`)."""
+        return [result.fingerprint() for result in self.results]
+
+    # -- per-scenario metrics -----------------------------------------------------------
+    def instructions(self) -> np.ndarray:
+        return np.array([result.instructions for result in self.results], dtype=float)
+
+    def analog_samples(self) -> np.ndarray:
+        return np.array([result.analog_samples for result in self.results], dtype=float)
+
+    def crossings(self) -> np.ndarray:
+        return np.array(
+            [result.crossings_reported for result in self.results], dtype=float
+        )
+
+    def scenario_nrmse(self) -> "np.ndarray | None":
+        """Per-scenario NRMSE of the ADC stream versus the baseline style.
+
+        For every scenario the partner is the scenario with the same analog
+        point, firmware and stimulus but the baseline integration style; a
+        one-sample alignment offset between engines is tolerated, matching
+        :func:`repro.metrics.nrmse.compare_traces`.  ``None`` when analog
+        recording was off; baseline scenarios report 0.
+        """
+        if self._nrmse_cache is not False:
+            return self._nrmse_cache
+        if any(result.analog_trace is None for result in self.results):
+            self._nrmse_cache = None
+            return None
+        baseline = self.baseline_style
+        reference: dict[tuple, np.ndarray] = {}
+        for scenario, result in zip(self.scenarios, self.results):
+            if scenario.style == baseline:
+                reference[scenario.analog_key()] = np.asarray(result.analog_trace)
+        errors = np.full(self.n_scenarios, np.nan)
+        for position, (scenario, result) in enumerate(
+            zip(self.scenarios, self.results)
+        ):
+            partner = reference.get(scenario.analog_key())
+            if partner is None:
+                continue
+            if scenario.style == baseline:
+                errors[position] = 0.0
+                continue
+            errors[position] = _aligned_nrmse(
+                partner, np.asarray(result.analog_trace)
+            )
+        self._nrmse_cache = errors
+        return errors
+
+    # -- aggregation -------------------------------------------------------------------
+    def summary_by_style(self) -> dict[str, dict[str, float]]:
+        """Table-III-style per-style aggregation over all scenarios."""
+        nrmse_values = self.scenario_nrmse()
+        baseline_mask = np.array(
+            [scenario.style == self.baseline_style for scenario in self.scenarios]
+        )
+        baseline_mean = (
+            float(self.elapsed[baseline_mask].mean()) if baseline_mask.any() else None
+        )
+        instructions = self.instructions()
+        analog_samples = self.analog_samples()
+        crossings = self.crossings()
+        summary: dict[str, dict[str, float]] = {}
+        for style in self.styles():
+            mask = np.array(
+                [scenario.style == style for scenario in self.scenarios]
+            )
+            mean_elapsed = float(self.elapsed[mask].mean())
+            entry = {
+                "scenarios": int(mask.sum()),
+                "mean_time": mean_elapsed,
+                "total_time": float(self.elapsed[mask].sum()),
+                "speedup": (
+                    baseline_mean / mean_elapsed
+                    if baseline_mean is not None and mean_elapsed > 0.0
+                    else float("nan")
+                ),
+                "instructions_mean": float(instructions[mask].mean()),
+                "analog_samples_mean": float(analog_samples[mask].mean()),
+                "crossings_mean": float(crossings[mask].mean()),
+            }
+            if nrmse_values is not None:
+                style_errors = nrmse_values[mask]
+                style_errors = style_errors[~np.isnan(style_errors)]
+                if style_errors.size:
+                    entry["nrmse_mean"] = float(style_errors.mean())
+                    entry["nrmse_max"] = float(style_errors.max())
+            summary[style] = entry
+        return summary
+
+    # -- reporting ---------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        """Markdown report: per-style Table-III summary plus scenario table."""
+        lines = [
+            f"# Platform sweep report — {self.n_scenarios} scenarios",
+            "",
+            f"- simulated time per scenario: {self.duration:g} s "
+            f"({resolve_steps(self.duration, self.timestep)} analog steps of "
+            f"{self.timestep:g} s)",
+            f"- workers: {self.workers}",
+            f"- baseline style: `{self.baseline_style}`",
+        ]
+        for phase, seconds in self.timings.items():
+            lines.append(f"- {phase}: {seconds:.3f} s")
+        lines.append("")
+        lines.append("## Integration styles (Table III layout)")
+        lines.append("")
+        summary = self.summary_by_style()
+        has_nrmse = any("nrmse_mean" in entry for entry in summary.values())
+        header = "| style | scenarios | mean time (s) | speed-up | instructions |"
+        divider = "|---|---|---|---|---|"
+        if has_nrmse:
+            header += " NRMSE mean | NRMSE max |"
+            divider += "---|---|"
+        lines.append(header)
+        lines.append(divider)
+        for style, entry in summary.items():
+            row = (
+                f"| {style} | {entry['scenarios']} | {entry['mean_time']:.4f} "
+                f"| {entry['speedup']:.2f}x | {entry['instructions_mean']:.0f} |"
+            )
+            if has_nrmse:
+                mean = entry.get("nrmse_mean")
+                peak = entry.get("nrmse_max")
+                row += (
+                    f" {mean:.3e} | {peak:.3e} |"
+                    if mean is not None
+                    else " - | - |"
+                )
+            lines.append(row)
+        lines.append("")
+        lines.append("## Scenarios")
+        lines.append("")
+        header_cells = self._header_cells()
+        lines.append("| " + " | ".join(header_cells) + " |")
+        lines.append("|" + "---|" * len(header_cells))
+        for index in range(self.n_scenarios):
+            lines.append("| " + " | ".join(self._row_cells(index)) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The per-scenario table as CSV (quoted label/params columns)."""
+        rows = [",".join(self._header_cells())]
+        for index in range(self.n_scenarios):
+            cells = self._row_cells(index)
+            cells[1] = f'"{cells[1]}"'
+            cells[2] = f'"{cells[2]}"'
+            rows.append(",".join(cells))
+        return "\n".join(rows)
+
+    def _header_cells(self) -> list[str]:
+        cells = [
+            "#",
+            "label",
+            "params",
+            "style",
+            "firmware",
+            "stimulus",
+            "time_s",
+            "instructions",
+            "analog_samples",
+            "crossings",
+            "uart_bytes",
+        ]
+        if self.scenario_nrmse() is not None:
+            cells.append("nrmse_vs_baseline")
+        return cells
+
+    def _row_cells(self, index: int) -> list[str]:
+        scenario = self.scenarios[index]
+        result = self.results[index]
+        params = ";".join(
+            f"{name}={_format_value(value)}"
+            for name, value in scenario.params.items()
+        )
+        cells = [
+            str(scenario.index),
+            scenario.label,
+            params,
+            scenario.style,
+            scenario.firmware,
+            scenario.stimulus,
+            f"{self.elapsed[index]:.4f}",
+            str(result.instructions),
+            str(result.analog_samples),
+            str(result.crossings_reported),
+            str(len(result.uart_output)),
+        ]
+        errors = self.scenario_nrmse()
+        if errors is not None:
+            value = errors[index]
+            cells.append("-" if np.isnan(value) else f"{value:.3e}")
+        return cells
+
+
+def _aligned_nrmse(reference: np.ndarray, measured: np.ndarray) -> float:
+    """NRMSE between two sample streams, tolerating a one-sample offset.
+
+    The integration styles sample the same analog grid but may start one
+    delta-aligned sample apart (exactly the offset
+    :func:`repro.metrics.nrmse.compare_traces` resamples away for traces);
+    with raw index-aligned streams the equivalent is taking the best of the
+    {-1, 0, +1} shifts.
+    """
+    best = np.inf
+    for shift in (-1, 0, 1):
+        if shift >= 0:
+            a, b = reference[shift:], measured
+        else:
+            a, b = reference, measured[-shift:]
+        length = min(a.size, b.size)
+        if length == 0:
+            continue
+        best = min(best, nrmse(a[:length], b[:length]))
+    if not np.isfinite(best):
+        raise SweepError("cannot compare empty analog traces")
+    return float(best)

@@ -36,10 +36,10 @@ from ..core.codegen.numpy_backend import NumpyGenerator, structure_signature
 from ..core.codegen.python_backend import compile_model_cached
 from ..core.flow import AbstractionFlow
 from ..core.signalflow import SignalFlowModel
-from ..errors import ReproError
+from ..errors import ReproError, SimulationError
 from ..metrics.nrmse import compare_traces
 from ..network.circuit import Circuit
-from ..sim.runners import run_reference_model
+from ..sim.runners import resolve_steps, run_reference_model
 from ..sim.trace import Trace
 from .results import SweepResult
 from .spec import Scenario, SweepSpec
@@ -49,6 +49,65 @@ Stimuli = Mapping[str, Callable[[float], float]]
 
 class SweepError(ReproError):
     """Raised when a sweep cannot be expanded or executed."""
+
+
+def map_scenario_chunks(
+    worker: Callable[[tuple], object],
+    config: object,
+    scenarios: Sequence,
+    workers: int,
+) -> "list | None":
+    """Run ``worker((config, chunk))`` over contiguous chunks in a process pool.
+
+    Shared by every sweep runner (signal-flow and platform).  Returns the
+    chunk results in scenario order, or ``None`` when the pool cannot be
+    built or the payload cannot be pickled — the caller then falls back to
+    the serial path, which by construction produces identical results.
+    Real errors raised inside a worker propagate unchanged.
+    """
+    import multiprocessing
+
+    workers = min(workers, len(scenarios))
+    bounds = np.linspace(0, len(scenarios), workers + 1).astype(int)
+    chunks = [
+        scenarios[start:stop]
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = context.Pool(processes=len(chunks))
+    except (OSError, ValueError, AttributeError, ImportError) as error:
+        # The *pool* could not be built (no fork, fd limits...): fall back.
+        import warnings
+
+        warnings.warn(
+            f"sweep falling back to serial execution ({error})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    try:
+        with pool:
+            return pool.map(worker, [(config, chunk) for chunk in chunks])
+    except Exception as error:
+        # Unpicklable payloads are an execution-strategy problem: fall
+        # back.  Anything else is a real error from inside a worker (bad
+        # factory arguments, abstraction failures...) and must surface
+        # immediately instead of being retried serially.
+        if "pickle" in type(error).__name__.lower() or "pickle" in str(error).lower():
+            import warnings
+
+            warnings.warn(
+                f"sweep payload is not picklable, running serially ({error})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        raise
 
 
 @dataclass
@@ -174,9 +233,10 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
     models = [_abstract_scenario(config, scenario) for scenario in scenarios]
     timings["abstract"] = _time.perf_counter() - start
 
-    steps = int(round(config.duration / config.timestep))
-    if steps <= 0:
-        raise SweepError("duration is shorter than one timestep")
+    try:
+        steps = resolve_steps(config.duration, config.timestep)
+    except SimulationError as exc:
+        raise SweepError(str(exc)) from exc
 
     output_names = list(models[0].outputs)
     outputs = {name: np.zeros((len(scenarios), steps)) for name in output_names}
@@ -345,49 +405,7 @@ class SweepRunner:
         scenarios: list[Scenario],
     ) -> "list[dict] | None":
         """Chunk across a process pool; ``None`` means fall back to serial."""
-        import multiprocessing
-
-        workers = min(self.workers, len(scenarios))
-        bounds = np.linspace(0, len(scenarios), workers + 1).astype(int)
-        chunks = [
-            scenarios[start:stop]
-            for start, stop in zip(bounds[:-1], bounds[1:])
-            if stop > start
-        ]
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            pool = context.Pool(processes=len(chunks))
-        except (OSError, ValueError, AttributeError, ImportError) as error:
-            # The *pool* could not be built (no fork, fd limits...): fall back.
-            import warnings
-
-            warnings.warn(
-                f"sweep falling back to serial execution ({error})",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
-        try:
-            with pool:
-                return pool.map(_run_chunk, [(config, chunk) for chunk in chunks])
-        except Exception as error:
-            # Unpicklable payloads are an execution-strategy problem: fall
-            # back.  Anything else is a real error from inside a worker (bad
-            # factory arguments, abstraction failures...) and must surface
-            # immediately instead of being retried serially.
-            if "pickle" in type(error).__name__.lower() or "pickle" in str(error).lower():
-                import warnings
-
-                warnings.warn(
-                    f"sweep payload is not picklable, running serially ({error})",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-                return None
-            raise
+        return map_scenario_chunks(_run_chunk, config, scenarios, self.workers)
 
     # -- reference comparison ----------------------------------------------------------
     def _reference_nrmse(

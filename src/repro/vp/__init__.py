@@ -12,6 +12,7 @@ from .memory import Memory
 from .mips import AssembledProgram, Assembler, MipsCpu, assemble
 from .platform import (
     ADC_BASE,
+    ANALOG_STYLES,
     PERIPHERAL_BASE,
     UART_BASE,
     PlatformRunResult,
@@ -21,6 +22,7 @@ from .uart import Uart
 
 __all__ = [
     "ADC_BASE",
+    "ANALOG_STYLES",
     "AdcBridge",
     "ApbBus",
     "ApbPeripheral",

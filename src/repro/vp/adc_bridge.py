@@ -25,13 +25,21 @@ STATUS_VALID = 0x1
 class AdcBridge(ApbPeripheral):
     """Latches analog output samples and exposes them as millivolt registers."""
 
-    def __init__(self, name: str = "adc0", millivolts_per_unit: float = 1.0) -> None:
+    def __init__(
+        self,
+        name: str = "adc0",
+        millivolts_per_unit: float = 1.0,
+        record: bool = False,
+    ) -> None:
         self.name = name
         self.millivolts_per_unit = millivolts_per_unit
         self._raw_value = 0.0
         self._valid = False
         self.sample_count = 0
         self.read_count = 0
+        #: Every pushed sample in arrival order when ``record`` is set (the
+        #: platform sweep layer uses this to compare analog styles), else None.
+        self.history: list[float] | None = [] if record else None
 
     # -- analog side -----------------------------------------------------------------------
     def push_sample(self, value: float) -> None:
@@ -39,6 +47,8 @@ class AdcBridge(ApbPeripheral):
         self._raw_value = float(value)
         self._valid = True
         self.sample_count += 1
+        if self.history is not None:
+            self.history.append(self._raw_value)
 
     @property
     def last_sample(self) -> float:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from ..core.codegen.python_backend import compile_model
+from ..core.codegen.python_backend import compile_model_cached
 from ..core.signalflow import SignalFlowModel
 from ..errors import PlatformError
 from ..network.circuit import Circuit
@@ -51,6 +51,11 @@ PERIPHERAL_BASE = 0x1000_0000
 UART_BASE = PERIPHERAL_BASE + 0x0000
 ADC_BASE = PERIPHERAL_BASE + 0x1000
 
+#: Short keys of the analog integration styles accepted by
+#: :meth:`SmartSystemPlatform.attach_analog`, in Table III's row order
+#: (co-simulation first — the paper's pre-abstraction baseline).
+ANALOG_STYLES = ("cosim", "eln", "tdf", "de", "python")
+
 
 @dataclass
 class PlatformRunResult:
@@ -64,6 +69,25 @@ class PlatformRunResult:
     crossings_reported: int
     analog_style: str
     extra: dict[str, float] = field(default_factory=dict)
+    #: Every ADC sample in arrival order, when the platform was built with
+    #: ``record_analog=True`` (used for cross-style NRMSE comparisons).
+    analog_trace: list[float] | None = None
+
+    def fingerprint(self) -> tuple:
+        """The deterministic software-visible outcome of the run.
+
+        Two runs of the same scenario must produce equal fingerprints no
+        matter where they executed (serial loop, multiprocessing worker) —
+        this is what the platform sweep layer's equivalence guarantee checks.
+        """
+        return (
+            self.instructions,
+            self.bus_transactions,
+            self.uart_output,
+            self.analog_samples,
+            self.crossings_reported,
+            self.analog_style,
+        )
 
 
 class _AdcSampler(Module):
@@ -77,13 +101,18 @@ class _AdcSampler(Module):
 
     def _sample(self, now: float) -> None:
         # Defer three deltas: stimulus update, analog module update, then read.
-        self.kernel._schedule_delta(
-            lambda: self.kernel._schedule_delta(
-                lambda: self.kernel._schedule_delta(
-                    lambda: self.adc.push_sample(self.watched.read())
-                )
-            )
-        )
+        # Bound methods instead of nested lambdas: this runs once per analog
+        # timestep, and the closure allocations showed up in profiles.
+        self.kernel._schedule_delta(self._after_first_delta)
+
+    def _after_first_delta(self) -> None:
+        self.kernel._schedule_delta(self._after_second_delta)
+
+    def _after_second_delta(self) -> None:
+        self.kernel._schedule_delta(self._push)
+
+    def _push(self) -> None:
+        self.adc.push_sample(self.watched.read())
 
 
 class _TdfAdcSink(TdfModule):
@@ -108,6 +137,7 @@ class SmartSystemPlatform:
         firmware: str | None = None,
         ram_size: int = 64 * 1024,
         uart_baud: int = 115200,
+        record_analog: bool = False,
     ) -> None:
         self.kernel = Kernel()
         self.analog_timestep = float(analog_timestep)
@@ -117,7 +147,7 @@ class SmartSystemPlatform:
         self.memory = Memory(size=ram_size, base=0)
         self.bus = ApbBus(PERIPHERAL_BASE)
         self.uart = Uart(baud_rate=uart_baud)
-        self.adc = AdcBridge()
+        self.adc = AdcBridge(record=record_analog)
         self.bus.attach("uart0", UART_BASE, self.uart)
         self.bus.attach("adc0", ADC_BASE, self.adc)
 
@@ -148,6 +178,41 @@ class SmartSystemPlatform:
             raise PlatformError(
                 f"an analog subsystem ({self.analog_style!r}) is already attached"
             )
+
+    def attach_analog(
+        self,
+        style: str,
+        stimuli: Stimuli,
+        model: "SignalFlowModel | type | object | None" = None,
+        circuit: "Circuit | str | None" = None,
+        output: str | None = None,
+        **options: float,
+    ) -> None:
+        """Attach an analog subsystem by style key (see :data:`ANALOG_STYLES`).
+
+        The abstracted styles (``"python"``, ``"de"``, ``"tdf"``) need a
+        ``model``; the conservative styles (``"eln"``, ``"cosim"``) need a
+        ``circuit`` and the observed ``output`` quantity.  ``options`` are
+        forwarded to the style-specific ``attach_analog_*`` method (e.g.
+        ``oversampling`` for the co-simulation bridge).
+        """
+        if style in ("python", "de", "tdf"):
+            if model is None:
+                raise PlatformError(f"analog style {style!r} needs a signal-flow model")
+            attach = getattr(self, f"attach_analog_{style}")
+            attach(model, stimuli, **options)
+            return
+        if style in ("eln", "cosim"):
+            if circuit is None or output is None:
+                raise PlatformError(
+                    f"analog style {style!r} needs a circuit and an output quantity"
+                )
+            attach = getattr(self, f"attach_analog_{style}")
+            attach(circuit, stimuli, output, **options)
+            return
+        raise PlatformError(
+            f"unknown analog integration style {style!r}; expected one of {ANALOG_STYLES}"
+        )
 
     def attach_analog_python(self, model: "SignalFlowModel | type | object", stimuli: Stimuli) -> None:
         """Integrate the generated model as plain code called every timestep."""
@@ -274,12 +339,13 @@ class SmartSystemPlatform:
             analog_samples=self.adc.sample_count,
             crossings_reported=counter_value,
             analog_style=self.analog_style,
+            analog_trace=list(self.adc.history) if self.adc.history is not None else None,
         )
 
 
 def _instantiate(model: "SignalFlowModel | type | object"):
     if isinstance(model, SignalFlowModel):
-        return compile_model(model)()
+        return compile_model_cached(model)()
     if isinstance(model, type):
         return model()
     return model

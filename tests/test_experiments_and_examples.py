@@ -38,6 +38,15 @@ class TestCommon:
         monkeypatch.setenv("REPRO_SIM_TIME_SCALE", "1e-9")
         assert scaled_duration(100e-3, minimum_steps=1000) == pytest.approx(1000 * 50e-9)
 
+    def test_scaled_duration_snaps_to_the_timestep_grid(self, monkeypatch):
+        """Regression: an arbitrary scale factor must still produce a duration
+        the fixed-step runners accept as an integer step count."""
+        from repro.sim import resolve_steps
+
+        monkeypatch.setenv("REPRO_SIM_TIME_SCALE", "0.1234567")
+        duration = scaled_duration(100e-3)
+        resolve_steps(duration, 50e-9)  # must not raise
+
     def test_time_scale_from_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_TIME_SCALE", "0.5")
         assert simulated_time_scale() == 0.5
@@ -103,6 +112,20 @@ class TestTable3:
         assert rows[0].speedup == 1.0  # first style is the baseline
         assert results["python"].instructions == results["de"].instructions
 
+    def test_sweep_component_opens_the_design_space(self, prepared_rc1):
+        from repro.experiments.table3 import sweep_component
+        from repro.sweep import GridSpec
+
+        result = sweep_component(
+            prepared_rc1,
+            SHORT,
+            styles=("python",),
+            parameters=GridSpec(axes={"resistance": [4e3, 6e3]}),
+        )
+        assert result.n_scenarios == 2
+        resistances = {s.params["resistance"] for s in result.scenarios}
+        assert resistances == {4e3, 6e3}
+
 
 class TestAbstractionCostStudy:
     def test_measure_order_reports_sizes(self):
@@ -127,7 +150,14 @@ class TestExamples:
 
     @pytest.mark.parametrize(
         "script",
-        ["quickstart.py", "smart_system_demo.py", "design_space_exploration.py", "codegen_tour.py"],
+        [
+            "quickstart.py",
+            "smart_system_demo.py",
+            "design_space_exploration.py",
+            "codegen_tour.py",
+            "sweep_tour.py",
+            "platform_sweep_tour.py",
+        ],
     )
     def test_example_defines_main(self, script):
         namespace = runpy.run_path(str(EXAMPLES / script), run_name="not_main")

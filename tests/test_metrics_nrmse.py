@@ -1,0 +1,117 @@
+"""Edge-case tests for the NRMSE metric (``repro.metrics.nrmse``).
+
+The interesting behaviour is in the corners: the normalisation fallback
+chain for constant references (span → mean magnitude → 1.0) and the
+resampling that makes :func:`compare_traces` insensitive to the one-step
+delta-cycle offset between engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import compare_trace_sets, compare_traces, nrmse, rmse
+from repro.sim import Trace, TraceSet
+
+DT = 50e-9
+
+
+def _trace(name: str, times: np.ndarray, values: np.ndarray) -> Trace:
+    trace = Trace(name)
+    for time, value in zip(times, values):
+        trace.append(float(time), float(value))
+    return trace
+
+
+class TestRmse:
+    def test_plain_value(self):
+        reference = np.array([0.0, 0.0, 0.0, 0.0])
+        measured = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(reference, measured) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_empty_waveforms_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            rmse(np.array([]), np.array([]))
+
+
+class TestNrmseFallbackChain:
+    def test_normalises_by_peak_to_peak_span(self):
+        reference = np.array([0.0, 1.0, 2.0, 3.0])  # span 3
+        assert nrmse(reference, reference + 0.3) == pytest.approx(0.1)
+
+    def test_constant_reference_falls_back_to_mean_magnitude(self):
+        """Stage 2: zero span, non-zero mean → normalise by |mean|."""
+        reference = np.full(8, 2.0)
+        measured = reference + 1.0
+        assert nrmse(reference, measured) == pytest.approx(1.0 / 2.0)
+        negative = np.full(8, -4.0)
+        assert nrmse(negative, negative + 1.0) == pytest.approx(1.0 / 4.0)
+
+    def test_all_zero_reference_degrades_to_plain_rmse(self):
+        """Stage 3: zero span and zero mean → divide by 1 (raw RMSE)."""
+        reference = np.zeros(16)
+        measured = np.full(16, 0.25)
+        assert nrmse(reference, measured) == pytest.approx(0.25)
+
+    def test_identical_constant_waveforms_are_exactly_zero(self):
+        reference = np.full(4, 7.5)
+        assert nrmse(reference, reference.copy()) == 0.0
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        times = np.arange(1, 101) * DT
+        values = np.sin(2e5 * np.pi * times)
+        assert compare_traces(_trace("a", times, values), _trace("b", times, values)) == 0.0
+
+    def test_one_step_delta_offset_is_resampled_away(self):
+        """Engines sampling the same waveform one timestep apart must compare
+        as (nearly) equal — the motivating case for the resampling."""
+        times = np.arange(1, 201) * DT
+        waveform = lambda t: np.sin(2e4 * 2.0 * np.pi * t)  # noqa: E731
+        reference = _trace("ref", times, waveform(times))
+        offset = _trace("off", times + DT, waveform(times + DT))
+        aligned = compare_traces(reference, offset)
+        raw = compare_traces(reference, offset, resample=False)
+        # The overlapping samples interpolate exactly; only the first
+        # reference point lies before the offset trace and is clamped, so the
+        # residual is a single boundary sample, an order of magnitude below
+        # the raw (shift-visible) comparison.
+        assert aligned < 1e-3
+        assert raw > 10 * aligned
+
+    def test_resample_false_requires_equal_sampling(self):
+        times = np.arange(1, 51) * DT
+        values = np.linspace(0.0, 1.0, 50)
+        reference = _trace("a", times, values)
+        measured = _trace("b", times, values + 0.1)
+        assert compare_traces(reference, measured, resample=False) == pytest.approx(
+            0.1, rel=1e-9
+        )
+
+    def test_empty_traces_rejected(self):
+        times = np.arange(1, 4) * DT
+        populated = _trace("a", times, np.ones(3))
+        with pytest.raises(ValueError, match="empty"):
+            compare_traces(populated, Trace("empty"))
+        with pytest.raises(ValueError, match="empty"):
+            compare_traces(Trace("empty"), populated)
+
+    def test_trace_set_comparison_uses_common_names(self):
+        times = np.arange(1, 11) * DT
+        values = np.linspace(0.0, 1.0, 10)
+        reference = TraceSet(
+            {
+                "V(out)": _trace("V(out)", times, values),
+                "V(mid)": _trace("V(mid)", times, values),
+            }
+        )
+        measured = TraceSet({"V(out)": _trace("V(out)", times, values)})
+        errors = compare_trace_sets(reference, measured)
+        assert set(errors) == {"V(out)"}
+        assert errors["V(out)"] == 0.0

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import itertools
 import math
 
 import numpy as np
 import pytest
 
-from repro.circuits import build_rc_filter, rc_filter_source
-from repro.core import abstract_circuit
+from repro.circuits import build_rc_filter, paper_benchmarks, rc_filter_source
+from repro.core import AbstractionFlow, abstract_circuit
+from repro.core.codegen import NumpyGenerator
 from repro.errors import SimulationError
 from repro.metrics import compare_traces, nrmse
 from repro.sim import (
@@ -24,6 +26,7 @@ from repro.sim import (
     StepSource,
     Trace,
     TraceSet,
+    resolve_steps,
     run_de_model,
     run_eln_model,
     run_python_model,
@@ -142,8 +145,103 @@ class TestReferenceSimulator:
             ReferenceAmsSimulator(rc1_circuit, DT, solver_iterations=0)
 
 
-class TestRunnerEquivalence:
-    """All integration styles of Table I must produce the same waveform."""
+#: The four fixed-timestep engines that must agree to numerical precision:
+#: they all advance the *same* abstracted signal-flow recursion, so any
+#: disagreement beyond time-quantisation noise is an integration-layer bug.
+MATRIX_ENGINES = ("python", "numpy-batch", "de", "tdf")
+MATRIX_DURATION = 100e-6
+#: Pairwise agreement bound.  Smooth (sine) stimuli make the comparison
+#: independent of where a square-wave edge lands on the femtosecond event
+#: grid, so the engines agree to ~1e-15 in practice; 1e-9 leaves margin for
+#: slower accumulation on longer runs without masking real defects.
+MATRIX_AGREEMENT = 1e-9
+
+
+def _matrix_stimuli(model) -> dict:
+    """Smooth multi-tone stimuli: one sine per input, distinct frequencies."""
+    return {
+        name: SineWave(amplitude=1.0, frequency=10e3 * (index + 1))
+        for index, name in enumerate(model.inputs)
+    }
+
+
+def _run_numpy_batch(model, stimuli, duration) -> TraceSet:
+    """Run a batch-of-one through the vectorized backend, as a TraceSet."""
+    instance = NumpyGenerator().generate_batch([model]).instantiate()
+    waveforms = [stimuli[name] for name in instance.INPUTS]
+    steps = resolve_steps(duration, float(instance.TIMESTEP))
+    traces = TraceSet({name: Trace(name) for name in instance.OUTPUTS})
+    single = len(instance.OUTPUTS) == 1
+    for index in range(steps):
+        now = (index + 1) * float(instance.TIMESTEP)
+        result = instance.step_batch(*[w(now) for w in waveforms], now)
+        values = (result,) if single else tuple(result)
+        for name, value in zip(instance.OUTPUTS, values):
+            traces[name].append(now, float(np.ravel(value)[0]))
+    return traces
+
+
+class TestCrossEngineMatrix:
+    """Every benchmark circuit × every fixed-timestep engine, pairwise.
+
+    This is the repo's equivalence contract: the generated scalar model
+    (``python``), the vectorized batch backend (``numpy-batch``), the
+    discrete-event integration (``de``) and the TDF cluster (``tdf``) must
+    produce the same output waveform for each of the paper's four benchmark
+    circuits, to within :data:`MATRIX_AGREEMENT`.
+    """
+
+    @pytest.fixture(scope="class")
+    def engine_traces(self):
+        """(benchmark name, engine) → output trace, computed once per class."""
+        traces: dict[tuple[str, str], Trace] = {}
+        for bench in paper_benchmarks():
+            model = AbstractionFlow(DT).abstract(
+                bench.circuit(), bench.output, name=bench.name.lower()
+            ).model
+            stimuli = _matrix_stimuli(model)
+            output = bench.output_quantity
+            runs = {
+                "python": run_python_model(model, stimuli, MATRIX_DURATION),
+                "numpy-batch": _run_numpy_batch(model, stimuli, MATRIX_DURATION),
+                "de": run_de_model(model, stimuli, MATRIX_DURATION),
+                "tdf": run_tdf_model(model, stimuli, MATRIX_DURATION),
+            }
+            for engine, run in runs.items():
+                traces[(bench.name, engine)] = run[output]
+        return traces
+
+    @pytest.mark.parametrize(
+        "component", [bench.name for bench in paper_benchmarks()]
+    )
+    @pytest.mark.parametrize(
+        "pair",
+        list(itertools.combinations(MATRIX_ENGINES, 2)),
+        ids=lambda pair: f"{pair[0]}-vs-{pair[1]}",
+    )
+    def test_pairwise_agreement(self, engine_traces, component, pair):
+        first, second = pair
+        error = compare_traces(
+            engine_traces[(component, first)], engine_traces[(component, second)]
+        )
+        assert error <= MATRIX_AGREEMENT, (
+            f"{component}: {first} and {second} disagree (NRMSE {error:.3e})"
+        )
+
+    @pytest.mark.parametrize(
+        "component", [bench.name for bench in paper_benchmarks()]
+    )
+    def test_trace_lengths_match(self, engine_traces, component):
+        lengths = {
+            engine: len(engine_traces[(component, engine)])
+            for engine in MATRIX_ENGINES
+        }
+        assert len(set(lengths.values())) == 1, lengths
+
+
+class TestGoldenBaselineAnchor:
+    """The matrix checks the engines against each other; these anchor the
+    abstracted recursion (and the ELN solver) to the reference AMS engine."""
 
     @pytest.fixture(scope="class")
     def setup(self):
@@ -159,25 +257,65 @@ class TestRunnerEquivalence:
         traces = run_python_model(model, stimuli, duration)
         assert compare_traces(reference["V(out)"], traces["V(out)"]) < 1e-3
 
-    def test_de_runner_matches_python(self, setup):
-        # The kernels may disagree by one sample on where the square-wave edge
-        # falls (floating-point time at the discontinuity), so the comparison
-        # is a waveform error bound rather than bitwise equality.
-        circuit, model, stimuli, duration, reference = setup
-        python_traces = run_python_model(model, stimuli, duration)
-        de_traces = run_de_model(model, stimuli, duration)
-        assert compare_traces(python_traces["V(out)"], de_traces["V(out)"]) < 2e-3
-
-    def test_tdf_runner_matches_python(self, setup):
-        circuit, model, stimuli, duration, reference = setup
-        python_traces = run_python_model(model, stimuli, duration)
-        tdf_traces = run_tdf_model(model, stimuli, duration)
-        assert compare_traces(python_traces["V(out)"], tdf_traces["V(out)"]) < 2e-3
-
     def test_eln_runner_accuracy(self, setup):
         circuit, model, stimuli, duration, reference = setup
         eln_traces = run_eln_model(circuit, stimuli, duration, DT, ["V(out)"])
         assert compare_traces(reference["V(out)"], eln_traces["V(out)"]) < 1e-3
+
+
+class TestStepResolution:
+    """Fixed-step runners must reject non-multiple durations, not round them."""
+
+    def test_exact_multiples_resolve(self):
+        assert resolve_steps(100e-6, DT) == 2000
+        # durations built as n * dt carry float error a few ulps wide
+        assert resolve_steps(1999 * DT, DT) == 1999
+
+    def test_fractional_duration_raises(self):
+        with pytest.raises(SimulationError, match="integer multiple"):
+            resolve_steps(2.5 * DT, DT)
+
+    def test_long_runs_still_catch_fractional_steps(self):
+        """Regression: the tolerance must not scale up to where a half-step
+        drop passes on paper-size runs (2e6-2e8 steps)."""
+        for steps in (2_000_000, 200_000_000):
+            assert resolve_steps(steps * DT, DT) == steps
+            with pytest.raises(SimulationError, match="integer multiple"):
+                resolve_steps((steps + 0.4) * DT, DT)
+
+    def test_sub_timestep_duration_raises(self):
+        with pytest.raises(SimulationError, match="shorter than one timestep"):
+            resolve_steps(DT / 100.0, DT)
+        with pytest.raises(SimulationError):
+            resolve_steps(0.0, DT)
+
+    def test_invalid_timestep_raises(self):
+        with pytest.raises(SimulationError):
+            resolve_steps(1e-6, 0.0)
+
+    def test_run_python_model_rejects_fractional_duration(self, rc1_model):
+        """Regression: ``int(round(duration / dt))`` used to silently simulate
+        2 steps for duration = 2.5 * dt, dropping simulated time."""
+        stimuli = {"vin": SquareWave(period=40e-6)}
+        with pytest.raises(SimulationError, match="integer multiple"):
+            run_python_model(rc1_model, stimuli, 2.5 * DT)
+        # the exact multiple still runs and yields exactly n samples
+        traces = run_python_model(rc1_model, stimuli, 100 * DT)
+        assert len(traces["V(out)"]) == 100
+
+    def test_every_runner_validates_the_duration(self, rc1_model, rc1_circuit):
+        """All fixed-step runner entry points agree on rejecting fractional
+        durations (they are compared as equivalent by the engine matrix)."""
+        stimuli = {"vin": SquareWave(period=40e-6)}
+        fractional = 2.5 * DT
+        with pytest.raises(SimulationError):
+            run_de_model(rc1_model, stimuli, fractional)
+        with pytest.raises(SimulationError):
+            run_tdf_model(rc1_model, stimuli, fractional)
+        with pytest.raises(SimulationError):
+            run_eln_model(rc1_circuit, stimuli, fractional, DT, ["V(out)"])
+        with pytest.raises(SimulationError):
+            run_reference_model(rc1_circuit, stimuli, fractional, DT, ["V(out)"])
 
 
 class TestCoSimulation:

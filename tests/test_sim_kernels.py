@@ -112,6 +112,27 @@ class TestDeKernel:
         assert len(times) == 10
         assert times[0] == pytest.approx(10e-9)
 
+    def test_kernel_survives_a_raising_process(self):
+        """Regression: an exception escaping a process must not alias the
+        recycled delta-cycle lists — the kernel stays usable afterwards."""
+        kernel = Kernel()
+
+        def boom():
+            raise RuntimeError("process failure")
+
+        kernel.schedule(1e-9, boom)
+        with pytest.raises(RuntimeError):
+            kernel.run()
+        assert kernel._runnable is not kernel._runnable_spare
+        # the kernel still schedules and runs correctly after the failure
+        fired = []
+        kernel.schedule(1e-9, lambda: fired.append(kernel.now))
+        signal = Signal(kernel, 0)
+        signal.changed.add_static_method(lambda: fired.append(signal.read()))
+        kernel.schedule(2e-9, lambda: signal.write(5))
+        kernel.run()
+        assert len(fired) == 2 and fired[1] == 5
+
     def test_module_helpers(self):
         kernel = Kernel()
         module = Module(kernel, "m")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.circuits import build_rc_filter, paper_benchmarks
+from repro.circuits import build_rc_filter, build_two_input, paper_benchmarks
 from repro.core import AbstractionFlow
 from repro.core.codegen import (
     NumpyGenerator,
@@ -125,6 +125,54 @@ class TestSpecExpansion:
         triple = combined + GridSpec(axes={"order": [2]})
         assert len(triple.expand()) == 6
 
+    def test_composite_len_is_the_sum_of_the_parts(self):
+        """Invariant: len(a + b) == len(a) + len(b), however deeply nested."""
+        parts = [
+            GridSpec(axes={"resistance": [4e3, 5e3, 6e3]}, base={"order": 1}),
+            CornerSpec(
+                nominal=RC_NOMINAL,
+                corners={"resistance": (4.5e3, 5.5e3)},
+            ),
+            mc_spec(samples=7),
+        ]
+        composite = parts[0] + parts[1] + parts[2]
+        assert len(composite) == sum(len(part) for part in parts)
+        assert len(composite) == len(composite.expand())
+
+    def test_composite_preserves_order_labels_and_params(self):
+        grid = GridSpec(axes={"resistance": [4e3, 5e3]}, base={"order": 1})
+        monte_carlo = mc_spec(samples=3)
+        combined = grid + monte_carlo
+        scenarios = combined.expand()
+        flat = grid.expand() + monte_carlo.expand()
+        assert [s.label for s in scenarios] == [s.label for s in flat]
+        assert [s.params for s in scenarios] == [s.params for s in flat]
+        # only the indices are rewritten, contiguously
+        assert [s.index for s in scenarios] == list(range(len(flat)))
+
+    def test_composite_expansion_is_repeatable(self):
+        combined = GridSpec(axes={"order": [1, 2]}) + mc_spec(samples=4)
+        first = [(s.index, s.label, tuple(s.params.items())) for s in combined.expand()]
+        second = [(s.index, s.label, tuple(s.params.items())) for s in combined.expand()]
+        assert first == second
+
+    def test_composite_keeps_per_spec_stimuli(self):
+        quiet = {"vin": SquareWave(amplitude=0.5, period=1e-3)}
+        loud = GridSpec(axes={"resistance": [4e3]}, base={"order": 1})
+        soft = GridSpec(
+            axes={"resistance": [5e3]}, base={"order": 1}, stimuli=quiet
+        )
+        scenarios = (loud + soft).expand()
+        assert scenarios[0].stimuli is None  # runner default applies
+        assert scenarios[1].stimuli is quiet
+
+    def test_adding_a_non_spec_is_rejected(self):
+        grid = GridSpec(axes={"order": [1]})
+        with pytest.raises(TypeError):
+            grid + 3
+        with pytest.raises(TypeError):
+            (grid + grid) + "corners"
+
 
 class TestBatchEquivalence:
     @pytest.mark.parametrize(
@@ -221,6 +269,84 @@ class TestBatchEquivalence:
             vectorized.ensemble("V(out)") - scalar.ensemble("V(out)")
         )
         assert np.max(difference) <= 1e-12
+
+
+class TestRandomizedBackendParity:
+    """Seeded random parameterizations: the vectorized ``step_batch`` must
+    track the scalar generated ``step`` to 1e-12 over a long recursion, for
+    parameter values far from the paper's nominal point."""
+
+    STEPS = 1000
+    TRIALS = 4
+    LANES = 5
+
+    def _assert_parity(self, models, stimuli_for):
+        artifact = NumpyGenerator().generate_batch(models)
+        batch = artifact.instantiate()
+        scalar_traces = []
+        for model in models:
+            traces = run_python_model(
+                model, stimuli_for(model), self.STEPS * TIMESTEP
+            )
+            scalar_traces.append(traces.waveform(model.outputs[0]))
+        waveforms = [stimuli_for(models[0])[name] for name in batch.INPUTS]
+        recorded = np.zeros((len(models), self.STEPS))
+        for index in range(self.STEPS):
+            now = (index + 1) * TIMESTEP
+            recorded[:, index] = batch.step_batch(
+                *[waveform(now) for waveform in waveforms], now
+            )
+        for lane, reference in enumerate(scalar_traces):
+            deviation = np.max(np.abs(recorded[lane] - reference))
+            assert deviation <= 1e-12, (
+                f"lane {lane} ({models[lane].name}) deviates by {deviation:.3e}"
+            )
+
+    def test_random_rc_parameterizations(self):
+        rng = np.random.default_rng(2016)
+        flow = AbstractionFlow(TIMESTEP)
+        for trial in range(self.TRIALS):
+            models = []
+            for lane in range(self.LANES):
+                resistance = float(rng.uniform(5e2, 5e4))
+                capacitance = float(rng.uniform(1e-9, 1e-7))
+                circuit = build_rc_filter(
+                    1, resistance=resistance, capacitance=capacitance
+                )
+                models.append(
+                    flow.abstract(circuit, "out", name=f"rc_t{trial}").model
+                )
+            self._assert_parity(models, lambda model: WAVE)
+
+    def test_random_two_input_parameterizations(self):
+        rng = np.random.default_rng(77)
+        flow = AbstractionFlow(TIMESTEP)
+        stimuli = {
+            "in1": SquareWave(period=1e-3),
+            "in2": SquareWave(amplitude=0.5, period=0.7e-3, duty=0.3),
+        }
+        for trial in range(self.TRIALS):
+            models = []
+            for lane in range(self.LANES):
+                params = {
+                    "r1": float(rng.uniform(1e3, 20e3)),
+                    "r2": float(rng.uniform(1e3, 20e3)),
+                    "r3": float(rng.uniform(1e3, 20e3)),
+                    "gain": float(rng.uniform(1e4, 1e6)),
+                }
+                circuit = build_two_input(**params)
+                models.append(
+                    flow.abstract(circuit, "out", name=f"two_t{trial}").model
+                )
+            self._assert_parity(models, lambda model: stimuli)
+
+    def test_same_seed_reproduces_the_same_parameterizations(self):
+        def draw(seed: int) -> list[float]:
+            rng = np.random.default_rng(seed)
+            return [float(rng.uniform(5e2, 5e4)) for _ in range(8)]
+
+        assert draw(2016) == draw(2016)
+        assert draw(2016) != draw(2017)
 
 
 class TestCompileCache:
