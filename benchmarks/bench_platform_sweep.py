@@ -6,13 +6,17 @@ analog integration styles × firmware variants — and runs every scenario
 through a complete :class:`~repro.vp.platform.SmartSystemPlatform` (MIPS CPU
 + APB + UART + ADC on the DE kernel), comparing:
 
-* ``serial``  — the pre-sweep workflow: one ``platform.run`` after another;
+* ``tick``    — serial, with the historical one-instruction-per-DE-event CPU
+  integration (``cpu_block_cycles=1``);
+* ``serial``  — serial, with block-stepped CPU scheduling (the default);
 * ``workers`` — the same scenario list fanned across ``multiprocessing``
   workers by :class:`~repro.sweep.platform.PlatformSweepRunner`.
 
 Scenario outcomes (instructions, UART bytes, ADC samples, crossing counts)
-must be identical between the two runs; on a multi-core machine the
-acceptance target is a >=4x wall-clock speed-up with 8 workers.
+must be identical between all three runs — the tick/block comparison is the
+block-stepping timing-equivalence acceptance check over the full scenario
+matrix; on a multi-core machine the acceptance target is a >=4x wall-clock
+speed-up with 8 workers.
 
 Run with:   PYTHONPATH=src python benchmarks/bench_platform_sweep.py [--smoke]
 
@@ -71,7 +75,7 @@ def bench(corner_points: int, duration: float, workers: int, smoke: bool) -> int
         f"(dt = {TIMESTEP * 1e9:.0f} ns)"
     )
 
-    def make_runner(n_workers: int) -> PlatformSweepRunner:
+    def make_runner(n_workers: int, cpu_block_cycles: int = 256) -> PlatformSweepRunner:
         return PlatformSweepRunner(
             build_rc_filter,
             "out",
@@ -79,7 +83,12 @@ def bench(corner_points: int, duration: float, workers: int, smoke: bool) -> int
             timestep=TIMESTEP,
             workers=n_workers,
             record_analog=False,
+            cpu_block_cycles=cpu_block_cycles,
         )
+
+    start = time.perf_counter()
+    per_tick = make_runner(1, cpu_block_cycles=1).run(spec, duration)
+    tick_wall = time.perf_counter() - start
 
     start = time.perf_counter()
     serial = make_runner(1).run(spec, duration)
@@ -89,16 +98,24 @@ def bench(corner_points: int, duration: float, workers: int, smoke: bool) -> int
     parallel = make_runner(workers).run(spec, duration)
     parallel_wall = time.perf_counter() - start
 
+    block_identical = per_tick.fingerprints() == serial.fingerprints()
     identical = serial.fingerprints() == parallel.fingerprints()
+    block_speedup = tick_wall / serial_wall if serial_wall > 0 else float("inf")
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
 
-    print(f"  serial  (1 process, wall)      : {serial_wall:8.3f} s")
+    print(f"  tick    (1 process, block=1)   : {tick_wall:8.3f} s")
+    print(f"  serial  (1 process, wall)      : {serial_wall:8.3f} s "
+          f"-> {block_speedup:.2f}x vs per-tick CPU stepping")
     print(f"  workers ({parallel.workers} processes, wall)    : {parallel_wall:8.3f} s "
           f"-> {speedup:.2f}x vs serial")
+    print(f"  block-stepping fingerprints identical to per-tick: {block_identical}")
     print(f"  per-scenario outcomes identical: {identical}")
     print()
     print(serial.to_markdown().split("## Scenarios")[0])
 
+    if not block_identical:
+        print("FAIL: block-stepped scenario outcomes deviate from per-tick execution")
+        return 1
     if not identical:
         print("FAIL: multiprocess scenario outcomes deviate from serial execution")
         return 1

@@ -1,0 +1,38 @@
+"""Performance measurement, baselines and regression detection (``repro.perf``).
+
+The ROADMAP's north star is "as fast as the hardware allows"; this package is
+how the repository *knows* whether it still is.  It provides
+
+* :mod:`~repro.perf.baseline` — :class:`BenchmarkRecord` (one benchmark's
+  machine-readable metrics), :class:`BaselineStore` (``BENCH_<name>.json``
+  files on disk) and :func:`compare_records` (regression flagging against the
+  last recorded baseline);
+* :mod:`~repro.perf.suite` — the standard benchmark workloads shared by
+  ``benchmarks/record.py`` and the micro-benchmark tests: ISS
+  instruction throughput (per-tick vs. block-stepped), DE-kernel event
+  throughput, and a firmware-bound platform run;
+* timing helpers (:func:`best_of`) used by all of them.
+
+Typical use::
+
+    PYTHONPATH=src python benchmarks/record.py --smoke           # record
+    PYTHONPATH=src python benchmarks/record.py --smoke --compare # regressions?
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BaselineStore,
+    BenchmarkRecord,
+    Regression,
+    best_of,
+    compare_records,
+)
+
+__all__ = [
+    "BaselineStore",
+    "BenchmarkRecord",
+    "Regression",
+    "best_of",
+    "compare_records",
+]

@@ -1,0 +1,196 @@
+"""The standard benchmark workloads behind ``benchmarks/record.py``.
+
+Each ``bench_*`` function runs one workload and returns a
+:class:`~repro.perf.baseline.BenchmarkRecord`.  The workloads are shared by
+the recording CLI and the micro-benchmark tests so that "the tentpole's
+speedup is measured, not asserted" — the same code path produces both the
+JSON baselines and the pass/fail numbers.
+
+``smoke=True`` shrinks every workload to CI size (a second or two in total)
+without changing what is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.de import Kernel, PeriodicTicker
+from ..vp import Memory, MipsCpu, assemble
+from ..vp.platform import _CpuBlockDriver
+from .baseline import BenchmarkRecord, best_of
+
+#: The platform's nominal CPU clock period (20 MHz), used by the ISS bench.
+CPU_PERIOD = 50e-9
+
+#: A firmware-style compute/memory/branch loop: the instruction mix of the
+#: threshold-monitor firmware (ALU ops, a RAM store + load, a backward
+#: branch) without the peripheral polling, so it measures the ISS itself.
+FIRMWARE_STYLE_LOOP = """
+        li    $t0, 0
+        li    $t1, 0x2000
+        li    $t3, 0
+loop:   addiu $t0, $t0, 1
+        andi  $t2, $t0, 0xFF
+        sll   $t4, $t2, 2
+        addu  $t5, $t4, $t2
+        sw    $t5, 0($t1)
+        lw    $t6, 0($t1)
+        subu  $t7, $t6, $t2
+        bne   $t0, $t3, loop
+"""
+
+
+def make_firmware_loop_cpu() -> MipsCpu:
+    """A CPU loaded with :data:`FIRMWARE_STYLE_LOOP` (no peripherals)."""
+    memory = Memory(size=64 * 1024)
+    memory.load_image(assemble(FIRMWARE_STYLE_LOOP).to_bytes())
+    return MipsCpu(memory)
+
+
+def iss_throughput(
+    instructions: int,
+    stepper: "str" = "block",
+    block_cycles: int = 256,
+) -> float:
+    """Instructions/second of the ISS on the firmware-style loop.
+
+    ``stepper`` selects the execution model:
+
+    * ``"step"`` — one ``cpu.step()`` call per instruction (the bare
+      interpreter, no kernel);
+    * ``"tick"`` — one instruction per DE-kernel event (the historical
+      per-tick platform integration);
+    * ``"block"`` — ``block_cycles``-instruction bursts per DE-kernel event
+      (the block-stepped integration).
+    """
+    if stepper == "step":
+        cpu = make_firmware_loop_cpu()
+
+        def run() -> None:
+            cpu.reset()
+            step = cpu.step
+            for _ in range(instructions):
+                step()
+
+        return instructions / best_of(run)
+    if stepper in ("tick", "block"):
+        cycles = 1 if stepper == "tick" else block_cycles
+        duration = instructions * CPU_PERIOD
+
+        def run() -> None:
+            cpu = make_firmware_loop_cpu()
+            kernel = Kernel()
+            _CpuBlockDriver(kernel, "cpu.clock", cpu, CPU_PERIOD, cycles)
+            kernel.run(duration)
+            assert cpu.instruction_count == instructions, cpu.instruction_count
+
+        return instructions / best_of(run)
+    raise ValueError(f"unknown stepper {stepper!r}")
+
+
+def bench_iss(smoke: bool = False) -> BenchmarkRecord:
+    """ISS throughput: bare interpreter vs per-tick vs block-stepped.
+
+    ``block_speedup`` (block-stepped vs the one-instruction-per-tick
+    integration) is the tentpole's acceptance metric: the same firmware, the
+    same kernel, the same retired instruction count — only the stepping
+    granularity differs.
+    """
+    instructions = 60_000 if smoke else 400_000
+    step_rate = iss_throughput(instructions, "step")
+    tick_rate = iss_throughput(instructions, "tick")
+    block_rate = iss_throughput(instructions, "block")
+    return BenchmarkRecord(
+        name="iss",
+        metrics={
+            "step_instructions_per_second": step_rate,
+            "tick_instructions_per_second": tick_rate,
+            "block_instructions_per_second": block_rate,
+            "block_speedup_vs_tick": block_rate / tick_rate,
+            "block_speedup_vs_step": block_rate / step_rate,
+        },
+        maximize=(
+            "step_instructions_per_second",
+            "tick_instructions_per_second",
+            "block_instructions_per_second",
+            "block_speedup_vs_tick",
+            "block_speedup_vs_step",
+        ),
+        meta={**BenchmarkRecord.environment_meta(), "instructions": instructions,
+              "smoke": smoke},
+    )
+
+
+def bench_de_kernel(smoke: bool = False) -> BenchmarkRecord:
+    """Raw event throughput of the discrete-event kernel (periodic ticker)."""
+    events = 20_000 if smoke else 200_000
+    period = CPU_PERIOD
+
+    def run() -> None:
+        kernel = Kernel()
+        ticks = [0]
+
+        def tick(now: float) -> None:
+            ticks[0] += 1
+
+        PeriodicTicker(kernel, "tick", period, tick)
+        kernel.run(events * period)
+        assert ticks[0] == events
+
+    rate = events / best_of(run)
+    return BenchmarkRecord(
+        name="de_kernel",
+        metrics={"events_per_second": rate},
+        maximize=("events_per_second",),
+        meta={**BenchmarkRecord.environment_meta(), "events": events, "smoke": smoke},
+    )
+
+
+def bench_platform(smoke: bool = False) -> BenchmarkRecord:
+    """A firmware-bound smart-system run (python-style analog integration)."""
+    from ..circuits import build_rc_filter
+    from ..core import abstract_circuit
+    from ..sim import SquareWave
+    from ..vp import SmartSystemPlatform, threshold_monitor_source
+
+    timestep = 50e-9
+    duration = 200e-6 if smoke else 2e-3
+    model = abstract_circuit(build_rc_filter(1), "out", timestep)
+
+    def run() -> "float":
+        platform = SmartSystemPlatform(
+            firmware=threshold_monitor_source(100), analog_timestep=timestep
+        )
+        platform.attach_analog_python(model, {"vin": SquareWave(period=40e-6)})
+        result = platform.run(duration)
+        return result.instructions
+
+    instructions = run()
+    wall = best_of(run)
+    return BenchmarkRecord(
+        name="platform",
+        # Only the rate is a metric: wall seconds scale with the workload
+        # size, which would falsely flag smoke-vs-full comparisons.
+        metrics={"instructions_per_second": instructions / wall},
+        maximize=("instructions_per_second",),
+        meta={
+            **BenchmarkRecord.environment_meta(),
+            "duration": duration,
+            "instructions": instructions,
+            "wall_seconds": wall,
+            "smoke": smoke,
+        },
+    )
+
+
+#: Every standard benchmark, in report order.
+SUITE: tuple[Callable[[bool], BenchmarkRecord], ...] = (
+    bench_iss,
+    bench_de_kernel,
+    bench_platform,
+)
+
+
+def run_suite(smoke: bool = False) -> list[BenchmarkRecord]:
+    """Run every standard benchmark and return the fresh records."""
+    return [bench(smoke) for bench in SUITE]

@@ -113,6 +113,11 @@ class Kernel:
 
     def __init__(self) -> None:
         self.now = 0.0
+        #: Simulated-time horizon of the active :meth:`run` call (``None``
+        #: outside a bounded run).  Batch-oriented processes — the virtual
+        #: platform's CPU block driver — read this to clamp how far ahead of
+        #: ``now`` they may execute without overshooting the run boundary.
+        self.end_time: float | None = None
         self._sequence = 0
         self._timed: list[tuple[float, int, Callable[[], None]]] = []
         self._runnable: list[Callable[[], None]] = []
@@ -199,6 +204,7 @@ class Kernel:
         self._running = True
         self._finished = False
         end_time = None if duration is None else quantize(self.now + duration)
+        self.end_time = end_time
         timed = self._timed
         try:
             while not self._finished:
@@ -216,6 +222,7 @@ class Kernel:
                     runnable.append(heappop(timed)[2])
         finally:
             self._running = False
+            self.end_time = None
         if end_time is not None and self.now < end_time:
             self.now = end_time
         return self.now

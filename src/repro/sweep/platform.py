@@ -207,6 +207,11 @@ class PlatformSweepConfig:
     firmwares: dict[str, "str | None"]
     method: str = "backward_euler"
     record_analog: bool = True
+    #: CPU instructions executed per DE-kernel event (see
+    #: :class:`~repro.vp.platform.SmartSystemPlatform`); 1 is the historical
+    #: one-instruction-per-tick model, larger blocks are faster with
+    #: identical scenario fingerprints.
+    cpu_block_cycles: int = 256
     cosim_options: dict[str, int] = field(default_factory=dict)
     #: Pre-abstracted models keyed by the sorted parameter tuple; seeds the
     #: per-chunk abstraction memo so callers that already ran the abstraction
@@ -244,6 +249,7 @@ def _run_platform_scenario(
         analog_timestep=config.timestep,
         firmware=config.firmwares[scenario.firmware],
         record_analog=config.record_analog,
+        cpu_block_cycles=config.cpu_block_cycles,
     )
     if scenario.style in ABSTRACTED_STYLES:
         # Build the circuit only on a memo miss: with a seeded/memoised model
@@ -318,6 +324,10 @@ class PlatformSweepRunner:
     record_analog:
         Record the ADC sample stream of every run (needed for cross-style
         NRMSE columns; costs one float per analog timestep).
+    cpu_block_cycles:
+        Instructions the MIPS ISS retires per DE-kernel event in every
+        platform (``1`` = the historical one-per-tick model).  Any value
+        produces identical scenario fingerprints; larger blocks are faster.
     """
 
     def __init__(
@@ -331,6 +341,7 @@ class PlatformSweepRunner:
         families: "bool | None" = None,
         workers: int = 1,
         record_analog: bool = True,
+        cpu_block_cycles: int = 256,
         cosim_options: "Mapping[str, int] | None" = None,
         premade_models: "Sequence[tuple[Mapping[str, float], SignalFlowModel]] | None" = None,
     ) -> None:
@@ -338,6 +349,8 @@ class PlatformSweepRunner:
             raise ValueError("timestep must be positive")
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if cpu_block_cycles < 1:
+            raise ValueError("cpu_block_cycles must be at least 1")
         self.factory = factory
         self.output = output
         self.stimuli = self._normalise_families(stimuli, families)
@@ -346,6 +359,7 @@ class PlatformSweepRunner:
         self.method = method
         self.workers = int(workers)
         self.record_analog = bool(record_analog)
+        self.cpu_block_cycles = int(cpu_block_cycles)
         self.cosim_options = dict(cosim_options or {})
         #: (params, model) pairs of already-abstracted analog points.
         self.premade_models = {
@@ -435,6 +449,7 @@ class PlatformSweepRunner:
             firmwares=dict(firmwares),
             method=self.method,
             record_analog=self.record_analog,
+            cpu_block_cycles=self.cpu_block_cycles,
             cosim_options=self.cosim_options,
             premade_models=self.premade_models,
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..errors import BusError
 
 
@@ -11,6 +13,12 @@ class Memory:
     The CPU fetches instructions and performs data accesses here; the
     ``load_image`` helper installs an assembled firmware image at its base
     address.
+
+    Writes can be observed through :meth:`add_write_watcher`; the CPU uses
+    this to invalidate its predecoded-instruction cache when anything else
+    (firmware reloads, tests poking at code, ``clear``) touches RAM.  The
+    CPU's own store fast path bypasses these watchers and maintains its
+    cache invalidation directly — watchers see every *external* write.
     """
 
     def __init__(self, size: int = 64 * 1024, base: int = 0) -> None:
@@ -21,6 +29,12 @@ class Memory:
         self._data = bytearray(size)
         self.read_count = 0
         self.write_count = 0
+        self._write_watchers: list[Callable[[int, int], None]] = []
+
+    # -- write observation -------------------------------------------------------------
+    def add_write_watcher(self, watcher: Callable[[int, int], None]) -> None:
+        """Call ``watcher(address, width)`` after every write through this API."""
+        self._write_watchers.append(watcher)
 
     # -- address checking --------------------------------------------------------------
     def _offset(self, address: int, width: int) -> int:
@@ -44,6 +58,9 @@ class Memory:
         offset = self._offset(address, 4)
         self.write_count += 1
         self._data[offset : offset + 4] = int(value & 0xFFFFFFFF).to_bytes(4, "little")
+        if self._write_watchers:
+            for watcher in self._write_watchers:
+                watcher(address, 4)
 
     # -- byte access -----------------------------------------------------------------------
     def read_byte(self, address: int) -> int:
@@ -57,6 +74,9 @@ class Memory:
         offset = self._offset(address, 1)
         self.write_count += 1
         self._data[offset] = value & 0xFF
+        if self._write_watchers:
+            for watcher in self._write_watchers:
+                watcher(address, 1)
 
     # -- bulk helpers ------------------------------------------------------------------------
     def load_image(self, image: bytes, address: int | None = None) -> None:
@@ -64,9 +84,15 @@ class Memory:
         address = self.base if address is None else address
         offset = self._offset(address, len(image))
         self._data[offset : offset + len(image)] = image
+        if self._write_watchers and image:
+            for watcher in self._write_watchers:
+                watcher(address, len(image))
 
     def clear(self) -> None:
         """Zero the whole memory."""
         self._data = bytearray(self.size)
         self.read_count = 0
         self.write_count = 0
+        if self._write_watchers:
+            for watcher in self._write_watchers:
+                watcher(self.base, self.size)

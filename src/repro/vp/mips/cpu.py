@@ -1,24 +1,196 @@
 """MIPS instruction-set simulator executing inside the discrete-event kernel.
 
 The CPU is the master of the virtual platform: it fetches 32-bit instructions
-from memory, executes them one per clock period, and issues loads/stores
-either to its tightly coupled RAM or — for addresses inside the peripheral
-window — to the APB bus.  Branch delay slots are not modelled (the assembler
-never schedules anything useful in them), which keeps the programmer's model
-simple without affecting the platform-level timing picture.
+from memory, executes them, and issues loads/stores either to its tightly
+coupled RAM or — for addresses inside the peripheral window — to the APB bus.
+Branch delay slots are not modelled (the assembler never schedules anything
+useful in them), which keeps the programmer's model simple without affecting
+the platform-level timing picture.
+
+Execution model
+---------------
+Every code word is decoded **once** into a prebound executor tuple (opcode
+kind, register indices, sign-extended immediates and absolute branch targets
+resolved at decode time) cached per word address.  :meth:`MipsCpu.run_block`
+then executes decoded instructions in a tight local loop — registers, memory
+and the decode cache bound to locals, taken branches followed in place —
+yielding back only when it reaches a peripheral-window load/store that is not
+the first instruction of the block, the halt flag, or the cycle budget.
+Peripheral accesses are therefore always the *first* instruction of a block,
+which is what lets the platform's block driver schedule them on exactly the
+same clock cycle as the classic one-instruction-per-tick interpreter.
+
+The decode cache is invalidated by the CPU's own stores (inline, in the hot
+loop) and by a :meth:`~repro.vp.memory.Memory.add_write_watcher` hook for
+external writes (firmware reloads via ``load_image``, ``clear``, tests poking
+at code), so self-modifying code re-decodes and stays architecturally exact.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Callable
 
 from ...errors import CpuFault
 from ..memory import Memory
-from .isa import WORD_MASK, sign_extend_16, to_signed_32
+from .isa import WORD_MASK
+
+#: Aligned word accesses go through a ``memoryview(...).cast("I")`` of the
+#: RAM, which needs native little-endian byte order (every supported target);
+#: on a big-endian host the executor falls back to the byte-wise path.
+_NATIVE_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Decoded-instruction kinds.  Loads/stores and branches get their own kinds
+#: so the block executor can special-case the peripheral window and follow
+#: branch targets without re-inspecting opcode fields.
+_NOP = 0
+_SLL = 1
+_SRL = 2
+_SRA = 3
+_JR = 4
+_JALR = 5
+_ADDU = 6
+_SUBU = 7
+_AND = 8
+_OR = 9
+_XOR = 10
+_NOR = 11
+_SLT = 12
+_SLTU = 13
+_MULT = 14
+_MULTU = 15
+_DIV = 16
+_DIVU = 17
+_MFHI = 18
+_MFLO = 19
+_ADDIU = 20
+_SLTI = 21
+_SLTIU = 22
+_ANDI = 23
+_ORI = 24
+_XORI = 25
+_LUI = 26
+_LW = 27
+_LB = 28
+_LBU = 29
+_SW = 30
+_SB = 31
+_BEQ = 32
+_BNE = 33
+_BLEZ = 34
+_BGTZ = 35
+_J = 36
+_JAL = 37
+
+#: Destination index used for writes to ``$zero``: decode redirects them to a
+#: scratch slot past the 32 architectural registers, so the hot loop never
+#: needs a per-write "is this register 0" test and ``registers[0]`` stays 0.
+_ZERO_SINK = 32
+
+_R_ALU = {
+    0x20: _ADDU, 0x21: _ADDU,
+    0x22: _SUBU, 0x23: _SUBU,
+    0x24: _AND, 0x25: _OR, 0x26: _XOR, 0x27: _NOR,
+    0x2A: _SLT, 0x2B: _SLTU,
+}
+
+_I_ALU = {
+    0x08: _ADDIU, 0x09: _ADDIU,
+    0x0A: _SLTI, 0x0C: _ANDI, 0x0D: _ORI, 0x0E: _XORI,
+}
+
+
+def decode_word(word: int, pc: int) -> tuple:
+    """Decode one 32-bit instruction word fetched from address ``pc``.
+
+    Returns a 4-tuple ``(kind, a, b, c)`` whose operand meaning depends on
+    the kind; immediates are sign-extended and branch/jump targets resolved
+    to absolute addresses, so the executor never touches encoding fields.
+    Raises :class:`CpuFault` for words outside the implemented subset.
+    """
+    if word == 0:
+        return (_NOP, 0, 0, 0)
+    opcode = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+
+    if opcode == 0x00:
+        rd = (word >> 11) & 0x1F
+        dest = rd if rd else _ZERO_SINK
+        funct = word & 0x3F
+        alu = _R_ALU.get(funct)
+        if alu is not None:
+            return (alu, dest, rs, rt)
+        if funct == 0x00:  # sll
+            return (_SLL, dest, rt, (word >> 6) & 0x1F)
+        if funct == 0x02:  # srl
+            return (_SRL, dest, rt, (word >> 6) & 0x1F)
+        if funct == 0x03:  # sra
+            return (_SRA, dest, rt, (word >> 6) & 0x1F)
+        if funct == 0x08:  # jr
+            return (_JR, rs, 0, 0)
+        if funct == 0x09:  # jalr
+            return (_JALR, rd if rd else 31, rs, (pc + 4) & WORD_MASK)
+        if funct == 0x18:  # mult
+            return (_MULT, rs, rt, 0)
+        if funct == 0x19:  # multu
+            return (_MULTU, rs, rt, 0)
+        if funct == 0x1A:  # div
+            return (_DIV, rs, rt, 0)
+        if funct == 0x1B:  # divu
+            return (_DIVU, rs, rt, 0)
+        if funct == 0x10:  # mfhi
+            return (_MFHI, dest, 0, 0)
+        if funct == 0x12:  # mflo
+            return (_MFLO, dest, 0, 0)
+        raise CpuFault(
+            f"unimplemented R-type funct {funct:#04x} at pc {pc:#010x}"
+        )
+
+    if opcode in (0x02, 0x03):
+        target = (pc & 0xF000_0000) | ((word & 0x03FF_FFFF) << 2)
+        if opcode == 0x02:
+            return (_J, target, 0, 0)
+        return (_JAL, target, (pc + 4) & WORD_MASK, 0)
+
+    immediate = word & 0xFFFF
+    signed = immediate - 0x10000 if immediate & 0x8000 else immediate
+    dest = rt if rt else _ZERO_SINK
+    alu = _I_ALU.get(opcode)
+    if alu is not None:
+        if alu in (_ANDI, _ORI, _XORI):
+            return (alu, dest, rs, immediate)
+        return (alu, dest, rs, signed)
+    if opcode == 0x0B:  # sltiu compares against the sign-extended, remasked imm
+        return (_SLTIU, dest, rs, signed & WORD_MASK)
+    if opcode == 0x0F:  # lui
+        return (_LUI, dest, (immediate << 16) & WORD_MASK, 0)
+    if opcode == 0x23:  # lw
+        return (_LW, dest, rs, signed)
+    if opcode == 0x20:  # lb
+        return (_LB, dest, rs, signed)
+    if opcode == 0x24:  # lbu
+        return (_LBU, dest, rs, signed)
+    if opcode == 0x2B:  # sw
+        return (_SW, rt, rs, signed)
+    if opcode == 0x28:  # sb
+        return (_SB, rt, rs, signed)
+    branch_target = (pc + 4 + (signed << 2)) & WORD_MASK
+    if opcode == 0x04:  # beq
+        return (_BEQ, rs, rt, branch_target)
+    if opcode == 0x05:  # bne
+        return (_BNE, rs, rt, branch_target)
+    if opcode == 0x06:  # blez
+        return (_BLEZ, rs, branch_target, 0)
+    if opcode == 0x07:  # bgtz
+        return (_BGTZ, rs, branch_target, 0)
+    raise CpuFault(
+        f"unimplemented opcode {opcode:#04x} at pc {pc:#010x}"
+    )
 
 
 class MipsCpu:
-    """A functional MIPS-I subset core.
+    """A functional MIPS-I subset core with a predecoded instruction cache.
 
     Parameters
     ----------
@@ -41,7 +213,9 @@ class MipsCpu:
         self.bus_read = bus_read
         self.bus_write = bus_write
         self.peripheral_base = peripheral_base
-        self.registers = [0] * 32
+        # 32 architectural registers plus the $zero write sink (see
+        # _ZERO_SINK); values are kept masked to 32 bits at all times.
+        self.registers = [0] * 33
         self.hi = 0
         self.lo = 0
         self.pc = 0
@@ -49,6 +223,9 @@ class MipsCpu:
         self.load_count = 0
         self.store_count = 0
         self.halted = False
+        #: Lazily filled decode cache, one slot per RAM word.
+        self._decoded: list[tuple | None] = [None] * (memory.size // 4)
+        memory.add_write_watcher(self._on_external_write)
 
     # -- register helpers ---------------------------------------------------------------
     def read_register(self, index: int) -> int:
@@ -61,8 +238,12 @@ class MipsCpu:
             self.registers[index] = value & WORD_MASK
 
     def reset(self, pc: int = 0) -> None:
-        """Reset architectural state and set the program counter."""
-        self.registers = [0] * 32
+        """Reset architectural state and set the program counter.
+
+        The decode cache is *kept*: it mirrors memory, not register state,
+        and is invalidated by writes, not by reset.
+        """
+        self.registers = [0] * 33
         self.hi = 0
         self.lo = 0
         self.pc = pc
@@ -71,7 +252,22 @@ class MipsCpu:
         self.store_count = 0
         self.halted = False
 
-    # -- memory access ---------------------------------------------------------------------
+    # -- decode-cache maintenance --------------------------------------------------------
+    def _on_external_write(self, address: int, width: int) -> None:
+        """Memory write watcher: drop decoded entries covering the write."""
+        decoded = self._decoded
+        base = self.memory.base
+        first = (address - base) >> 2
+        last = (address + width - 1 - base) >> 2
+        if first < 0:
+            first = 0
+        if last >= len(decoded):
+            last = len(decoded) - 1
+        if first > last:
+            return
+        decoded[first : last + 1] = [None] * (last - first + 1)
+
+    # -- memory access (slow paths, kept for direct use and the bus window) --------------
     def _load_word(self, address: int) -> int:
         self.load_count += 1
         if address >= self.peripheral_base:
@@ -113,135 +309,325 @@ class MipsCpu:
 
     # -- execution -----------------------------------------------------------------------------
     def step(self) -> None:
-        """Fetch, decode and execute one instruction."""
-        if self.halted:
-            return
-        instruction = self.memory.read_word(self.pc)
-        next_pc = (self.pc + 4) & WORD_MASK
-        opcode = (instruction >> 26) & 0x3F
+        """Fetch, decode (cached) and execute exactly one instruction."""
+        self.run_block(1)
 
-        if instruction == 0:
-            pass  # nop
-        elif opcode == 0x00:
-            next_pc = self._execute_r_type(instruction, next_pc)
-        elif opcode in (0x02, 0x03):
-            target = (self.pc & 0xF000_0000) | ((instruction & 0x03FF_FFFF) << 2)
-            if opcode == 0x03:
-                self.write_register(31, next_pc)
-            next_pc = target
-        else:
-            next_pc = self._execute_i_type(opcode, instruction, next_pc)
+    def run_block(self, max_instructions: int) -> int:
+        """Execute up to ``max_instructions`` decoded instructions in one burst.
 
-        self.pc = next_pc
-        self.instruction_count += 1
+        Runs a tight local loop over the decode cache, following taken
+        branches, and yields back early only at:
 
-    def _execute_r_type(self, instruction: int, next_pc: int) -> int:
-        rs = (instruction >> 21) & 0x1F
-        rt = (instruction >> 16) & 0x1F
-        rd = (instruction >> 11) & 0x1F
-        shamt = (instruction >> 6) & 0x1F
-        funct = instruction & 0x3F
-        s = self.read_register(rs)
-        t = self.read_register(rt)
+        * a peripheral-window load/store that is **not** the first
+          instruction of the block (left unexecuted, so the caller can
+          reschedule it on its exact clock cycle);
+        * the ``halted`` flag;
+        * the instruction budget.
 
-        if funct == 0x00:  # sll
-            self.write_register(rd, t << shamt)
-        elif funct == 0x02:  # srl
-            self.write_register(rd, t >> shamt)
-        elif funct == 0x03:  # sra
-            self.write_register(rd, to_signed_32(t) >> shamt)
-        elif funct == 0x08:  # jr
-            return s
-        elif funct == 0x09:  # jalr
-            self.write_register(rd if rd else 31, next_pc)
-            return s
-        elif funct in (0x20, 0x21):  # add/addu
-            self.write_register(rd, s + t)
-        elif funct in (0x22, 0x23):  # sub/subu
-            self.write_register(rd, s - t)
-        elif funct == 0x24:
-            self.write_register(rd, s & t)
-        elif funct == 0x25:
-            self.write_register(rd, s | t)
-        elif funct == 0x26:
-            self.write_register(rd, s ^ t)
-        elif funct == 0x27:
-            self.write_register(rd, ~(s | t))
-        elif funct == 0x2A:  # slt
-            self.write_register(rd, 1 if to_signed_32(s) < to_signed_32(t) else 0)
-        elif funct == 0x2B:  # sltu
-            self.write_register(rd, 1 if s < t else 0)
-        elif funct in (0x18, 0x19):  # mult/multu
-            if funct == 0x18:
-                product = to_signed_32(s) * to_signed_32(t)
-            else:
-                product = s * t
-            self.lo = product & WORD_MASK
-            self.hi = (product >> 32) & WORD_MASK
-        elif funct in (0x1A, 0x1B):  # div/divu
-            if t == 0:
-                self.lo, self.hi = 0, 0
-            elif funct == 0x1A:
-                self.lo = int(to_signed_32(s) / to_signed_32(t)) & WORD_MASK
-                self.hi = (to_signed_32(s) - int(to_signed_32(s) / to_signed_32(t)) * to_signed_32(t)) & WORD_MASK
-            else:
-                self.lo = (s // t) & WORD_MASK
-                self.hi = (s % t) & WORD_MASK
-        elif funct == 0x10:  # mfhi
-            self.write_register(rd, self.hi)
-        elif funct == 0x12:  # mflo
-            self.write_register(rd, self.lo)
-        else:
-            raise CpuFault(
-                f"unimplemented R-type funct {funct:#04x} at pc {self.pc:#010x}"
-            )
-        return next_pc
+        Returns the number of instructions actually executed.  Architectural
+        state (``pc``, counters) is flushed back even when an instruction
+        faults mid-block, leaving exactly the same state as single-stepping.
+        """
+        if self.halted or max_instructions <= 0:
+            return 0
+        # Everything the hot loop touches is bound to locals — including the
+        # kind constants, so every dispatch comparison is a LOAD_FAST.
+        K_NOP = _NOP; K_SLL = _SLL; K_SRL = _SRL; K_SRA = _SRA  # noqa: E702
+        K_JR = _JR; K_JALR = _JALR; K_ADDU = _ADDU; K_SUBU = _SUBU  # noqa: E702
+        K_AND = _AND; K_OR = _OR; K_XOR = _XOR; K_NOR = _NOR  # noqa: E702
+        K_SLT = _SLT; K_SLTU = _SLTU; K_MULT = _MULT; K_MULTU = _MULTU  # noqa: E702
+        K_DIV = _DIV; K_DIVU = _DIVU; K_MFHI = _MFHI; K_MFLO = _MFLO  # noqa: E702
+        K_ADDIU = _ADDIU; K_SLTI = _SLTI; K_SLTIU = _SLTIU  # noqa: E702
+        K_ANDI = _ANDI; K_ORI = _ORI; K_XORI = _XORI; K_LUI = _LUI  # noqa: E702
+        K_LW = _LW; K_LB = _LB; K_LBU = _LBU; K_SW = _SW; K_SB = _SB  # noqa: E702
+        K_BEQ = _BEQ; K_BNE = _BNE; K_BLEZ = _BLEZ; K_BGTZ = _BGTZ  # noqa: E702
+        K_J = _J; K_JAL = _JAL  # noqa: E702
+        decoded = self._decoded
+        reg = self.registers
+        mem = self.memory
+        data = mem._data
+        words = memoryview(data).cast("I") if _NATIVE_LITTLE_ENDIAN else None
+        mbase = mem.base
+        msize = mem.size
+        periph = self.peripheral_base
+        # The word fast path must never swallow a peripheral access, so its
+        # window ends at the peripheral base even if (in exotic configs) the
+        # RAM range overlaps the peripheral window — bus precedence matches
+        # the _load_word/_store_word slow paths.
+        msize4 = min(msize, periph - mbase) - 4
+        pc = self.pc
+        executed = 0
+        loads = 0
+        stores = 0
+        mem_reads = 0
+        mem_writes = 0
+        M = WORD_MASK
+        try:
+            while executed < max_instructions:
+                offset = pc - mbase
+                if 0 <= offset < msize and not offset & 3:
+                    index = offset >> 2
+                    entry = decoded[index]
+                    if entry is None:
+                        entry = decode_word(mem.read_word(pc), pc)
+                        decoded[index] = entry
+                else:
+                    # Unaligned or out-of-range pc: decode uncached (the
+                    # fetch itself raises BusError when out of range).
+                    entry = decode_word(mem.read_word(pc), pc)
+                k, a, b, c = entry
 
-    def _execute_i_type(self, opcode: int, instruction: int, next_pc: int) -> int:
-        rs = (instruction >> 21) & 0x1F
-        rt = (instruction >> 16) & 0x1F
-        immediate = instruction & 0xFFFF
-        signed = sign_extend_16(immediate)
-        s = self.read_register(rs)
+                if k == K_LW:
+                    address = (reg[b] + c) & M
+                    offset = address - mbase
+                    if 0 <= offset <= msize4 and not offset & 3 and words is not None:
+                        loads += 1
+                        mem_reads += 1
+                        reg[a] = words[offset >> 2]
+                    elif address >= periph:
+                        if executed:
+                            break
+                        loads += 1
+                        if self.bus_read is None:
+                            raise CpuFault(
+                                f"load from unmapped peripheral address {address:#x}"
+                            )
+                        reg[a] = self.bus_read(address) & M
+                    else:
+                        loads += 1
+                        if offset < 0 or offset + 4 > msize:
+                            mem.read_word(address)  # raises BusError
+                        mem_reads += 1
+                        reg[a] = int.from_bytes(data[offset : offset + 4], "little")
+                    pc += 4
+                elif k == K_BEQ:
+                    pc = c if reg[a] == reg[b] else pc + 4
+                elif k == K_ADDIU:
+                    reg[a] = (reg[b] + c) & M
+                    pc += 4
+                elif k == K_ADDU:
+                    reg[a] = (reg[b] + reg[c]) & M
+                    pc += 4
+                elif k == K_SW:
+                    address = (reg[b] + c) & M
+                    offset = address - mbase
+                    if 0 <= offset <= msize4 and not offset & 3 and words is not None:
+                        stores += 1
+                        mem_writes += 1
+                        words[offset >> 2] = reg[a]
+                        index = offset >> 2
+                        if decoded[index] is not None:
+                            decoded[index] = None
+                    elif address >= periph:
+                        if executed:
+                            break
+                        stores += 1
+                        if self.bus_write is None:
+                            raise CpuFault(
+                                f"store to unmapped peripheral address {address:#x}"
+                            )
+                        self.bus_write(address, reg[a])
+                    else:
+                        stores += 1
+                        if offset < 0 or offset + 4 > msize:
+                            mem.write_word(address, reg[a])  # raises BusError
+                        data[offset : offset + 4] = reg[a].to_bytes(4, "little")
+                        mem_writes += 1
+                        index = offset >> 2
+                        if decoded[index] is not None:
+                            decoded[index] = None
+                        index = (offset + 3) >> 2
+                        if decoded[index] is not None:
+                            decoded[index] = None
+                    pc += 4
+                elif k == K_ANDI:
+                    reg[a] = reg[b] & c
+                    pc += 4
+                elif k == K_SLT:
+                    s = reg[b]
+                    t = reg[c]
+                    if s > 0x7FFFFFFF:
+                        s -= 0x100000000
+                    if t > 0x7FFFFFFF:
+                        t -= 0x100000000
+                    reg[a] = 1 if s < t else 0
+                    pc += 4
+                elif k == K_BNE:
+                    pc = c if reg[a] != reg[b] else pc + 4
+                elif k == K_SUBU:
+                    reg[a] = (reg[b] - reg[c]) & M
+                    pc += 4
+                elif k == K_NOP:
+                    pc += 4
+                elif k == K_J:
+                    pc = a
+                elif k == K_SLL:
+                    reg[a] = (reg[b] << c) & M
+                    pc += 4
+                elif k == K_SRA:
+                    t = reg[b]
+                    if t > 0x7FFFFFFF:
+                        t -= 0x100000000
+                    reg[a] = (t >> c) & M
+                    pc += 4
+                elif k == K_SRL:
+                    reg[a] = reg[b] >> c
+                    pc += 4
+                elif k == K_LUI:
+                    reg[a] = b
+                    pc += 4
+                elif k == K_ORI:
+                    reg[a] = reg[b] | c
+                    pc += 4
+                elif k == K_SLTI:
+                    s = reg[b]
+                    if s > 0x7FFFFFFF:
+                        s -= 0x100000000
+                    reg[a] = 1 if s < c else 0
+                    pc += 4
+                elif k == K_SLTIU:
+                    reg[a] = 1 if reg[b] < c else 0
+                    pc += 4
+                elif k == K_BLEZ:
+                    s = reg[a]
+                    pc = b if (s == 0 or s > 0x7FFFFFFF) else pc + 4
+                elif k == K_BGTZ:
+                    s = reg[a]
+                    pc = b if 0 < s <= 0x7FFFFFFF else pc + 4
+                elif k == K_XORI:
+                    reg[a] = reg[b] ^ c
+                    pc += 4
+                elif k == K_AND:
+                    reg[a] = reg[b] & reg[c]
+                    pc += 4
+                elif k == K_OR:
+                    reg[a] = reg[b] | reg[c]
+                    pc += 4
+                elif k == K_XOR:
+                    reg[a] = reg[b] ^ reg[c]
+                    pc += 4
+                elif k == K_NOR:
+                    reg[a] = ~(reg[b] | reg[c]) & M
+                    pc += 4
+                elif k == K_SLTU:
+                    reg[a] = 1 if reg[b] < reg[c] else 0
+                    pc += 4
+                elif k == K_LB or k == K_LBU:
+                    address = (reg[b] + c) & M
+                    if address >= periph:
+                        if executed:
+                            break
+                        loads += 1
+                        if self.bus_read is None:
+                            raise CpuFault(
+                                f"load from unmapped peripheral address {address:#x}"
+                            )
+                        value = (self.bus_read(address & ~0x3) >> (8 * (address & 0x3))) & 0xFF
+                    else:
+                        loads += 1
+                        offset = address - mbase
+                        if offset < 0 or offset >= msize:
+                            mem.read_byte(address)  # raises BusError
+                        mem_reads += 1
+                        value = data[offset]
+                    if k == K_LB and value & 0x80:
+                        value = (value - 0x100) & M
+                    reg[a] = value
+                    pc += 4
+                elif k == K_SB:
+                    address = (reg[b] + c) & M
+                    if address >= periph:
+                        if executed:
+                            break
+                        stores += 1
+                        if self.bus_write is None:
+                            raise CpuFault(
+                                f"store to unmapped peripheral address {address:#x}"
+                            )
+                        self.bus_write(address, reg[a] & 0xFF)
+                    else:
+                        stores += 1
+                        offset = address - mbase
+                        if offset < 0 or offset >= msize:
+                            mem.write_byte(address, reg[a])  # raises BusError
+                        data[offset] = reg[a] & 0xFF
+                        mem_writes += 1
+                        index = offset >> 2
+                        if decoded[index] is not None:
+                            decoded[index] = None
+                    pc += 4
+                elif k == K_JR:
+                    pc = reg[a]
+                elif k == K_JAL:
+                    reg[31] = b
+                    pc = a
+                elif k == K_JALR:
+                    target = reg[b]
+                    reg[a] = c
+                    pc = target
+                elif k == K_MULT:
+                    s = reg[a]
+                    t = reg[b]
+                    if s > 0x7FFFFFFF:
+                        s -= 0x100000000
+                    if t > 0x7FFFFFFF:
+                        t -= 0x100000000
+                    product = s * t
+                    self.lo = product & M
+                    self.hi = (product >> 32) & M
+                    pc += 4
+                elif k == K_MULTU:
+                    product = reg[a] * reg[b]
+                    self.lo = product & M
+                    self.hi = (product >> 32) & M
+                    pc += 4
+                elif k == K_DIV:
+                    s = reg[a]
+                    t = reg[b]
+                    if s > 0x7FFFFFFF:
+                        s -= 0x100000000
+                    if t > 0x7FFFFFFF:
+                        t -= 0x100000000
+                    if t == 0:
+                        self.lo, self.hi = 0, 0
+                    else:
+                        # Pure-integer truncation toward zero (MIPS div): a
+                        # float round trip loses precision above 2**53 and
+                        # already misrounds e.g. 0x7FFFFFFF / 1.
+                        quotient = abs(s) // abs(t)
+                        if (s < 0) != (t < 0):
+                            quotient = -quotient
+                        self.lo = quotient & M
+                        self.hi = (s - quotient * t) & M
+                    pc += 4
+                elif k == K_DIVU:
+                    s = reg[a]
+                    t = reg[b]
+                    if t == 0:
+                        self.lo, self.hi = 0, 0
+                    else:
+                        self.lo = (s // t) & M
+                        self.hi = (s % t) & M
+                    pc += 4
+                elif k == K_MFHI:
+                    reg[a] = self.hi
+                    pc += 4
+                else:  # _MFLO
+                    reg[a] = self.lo
+                    pc += 4
 
-        if opcode == 0x08 or opcode == 0x09:  # addi/addiu
-            self.write_register(rt, s + signed)
-        elif opcode == 0x0A:  # slti
-            self.write_register(rt, 1 if to_signed_32(s) < signed else 0)
-        elif opcode == 0x0B:  # sltiu
-            self.write_register(rt, 1 if s < (signed & WORD_MASK) else 0)
-        elif opcode == 0x0C:
-            self.write_register(rt, s & immediate)
-        elif opcode == 0x0D:
-            self.write_register(rt, s | immediate)
-        elif opcode == 0x0E:
-            self.write_register(rt, s ^ immediate)
-        elif opcode == 0x0F:  # lui
-            self.write_register(rt, immediate << 16)
-        elif opcode == 0x23:  # lw
-            self.write_register(rt, self._load_word((s + signed) & WORD_MASK))
-        elif opcode == 0x20:  # lb
-            self.write_register(rt, self._load_byte((s + signed) & WORD_MASK, signed=True))
-        elif opcode == 0x24:  # lbu
-            self.write_register(rt, self._load_byte((s + signed) & WORD_MASK, signed=False))
-        elif opcode == 0x2B:  # sw
-            self._store_word((s + signed) & WORD_MASK, self.read_register(rt))
-        elif opcode == 0x28:  # sb
-            self._store_byte((s + signed) & WORD_MASK, self.read_register(rt))
-        elif opcode == 0x04:  # beq
-            if s == self.read_register(rt):
-                return (self.pc + 4 + (signed << 2)) & WORD_MASK
-        elif opcode == 0x05:  # bne
-            if s != self.read_register(rt):
-                return (self.pc + 4 + (signed << 2)) & WORD_MASK
-        elif opcode == 0x06:  # blez
-            if to_signed_32(s) <= 0:
-                return (self.pc + 4 + (signed << 2)) & WORD_MASK
-        elif opcode == 0x07:  # bgtz
-            if to_signed_32(s) > 0:
-                return (self.pc + 4 + (signed << 2)) & WORD_MASK
-        else:
-            raise CpuFault(
-                f"unimplemented opcode {opcode:#04x} at pc {self.pc:#010x}"
-            )
-        return next_pc
+                executed += 1
+                # Peripheral accesses only execute as a block's first
+                # instruction, so a bus callback that halts the CPU (a
+                # power/halt control register) can only have fired here —
+                # one cheap comparison keeps mid-block halts per-tick exact.
+                if executed == 1 and self.halted:
+                    break
+        finally:
+            self.pc = pc
+            self.instruction_count += executed
+            self.load_count += loads
+            self.store_count += stores
+            mem.read_count += mem_reads
+            mem.write_count += mem_writes
+        return executed

@@ -90,6 +90,75 @@ class PlatformRunResult:
         )
 
 
+class _CpuBlockDriver(Module):
+    """Advances the CPU one instruction *block* per kernel event.
+
+    The classic integration steps the CPU through a :class:`PeriodicTicker`,
+    one instruction per clock event — millions of heap operations per
+    simulated millisecond.  This driver instead asks the predecoded ISS for a
+    burst of up to ``block_cycles`` instructions and schedules its next
+    wake-up exactly ``executed`` clock cycles later on the same absolute
+    cycle grid the ticker would have used.
+
+    Timing equivalence with the one-instruction-per-tick model is preserved
+    because
+
+    * :meth:`~repro.vp.mips.cpu.MipsCpu.run_block` yields back *before* any
+      peripheral-window load/store that is not the first instruction of a
+      block, so every UART/APB/ADC access executes as the first instruction
+      of an event scheduled on precisely its own clock cycle;
+    * instructions between peripheral accesses touch only CPU-private state
+      (registers and RAM), so executing them early within one kernel event
+      is unobservable;
+    * the block budget is clamped to the kernel's ``end_time`` horizon so a
+      bounded ``run(duration)`` retires exactly as many instructions as the
+      per-tick model would.
+
+    ``block_cycles=1`` degenerates to the historical per-tick behaviour.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        cpu: MipsCpu,
+        period: float,
+        block_cycles: int = 256,
+    ) -> None:
+        super().__init__(kernel, name)
+        if period <= 0.0:
+            raise ValueError("CPU clock period must be positive")
+        if block_cycles < 1:
+            raise ValueError("block_cycles must be at least 1")
+        self.cpu = cpu
+        self.period = period
+        self.block_cycles = block_cycles
+        #: Index of the next clock cycle to execute (cycle ``c`` fires at
+        #: ``origin + c * period``, mirroring PeriodicTicker's drift-free grid).
+        self.cycle = 0
+        self._grid_origin = kernel.now + period
+        kernel.schedule(period, self._wake)
+
+    def _wake(self) -> None:
+        kernel = self.kernel
+        budget = self.block_cycles
+        end = kernel.end_time
+        if end is not None and budget > 1:
+            # Cycles fire at now + j*period; only those within the run
+            # horizon may execute in this burst (the per-tick model would
+            # not have reached the later ones yet).
+            fit = int((end - kernel.now) / self.period + 1e-9) + 1
+            if fit < budget:
+                budget = fit if fit >= 1 else 1
+        executed = self.cpu.run_block(budget)
+        if executed < 1:
+            # Halted CPU: let the idle cycles pass in bulk (the per-tick
+            # ticker would fire on each of them and do nothing).
+            executed = budget
+        self.cycle += executed
+        kernel.schedule_abs(self._grid_origin + self.cycle * self.period, self._wake)
+
+
 class _AdcSampler(Module):
     """Publishes the value of a discrete-event signal into the ADC bridge."""
 
@@ -138,6 +207,7 @@ class SmartSystemPlatform:
         ram_size: int = 64 * 1024,
         uart_baud: int = 115200,
         record_analog: bool = False,
+        cpu_block_cycles: int = 256,
     ) -> None:
         self.kernel = Kernel()
         self.analog_timestep = float(analog_timestep)
@@ -161,16 +231,17 @@ class SmartSystemPlatform:
             bus_write=self.bus.write,
             peripheral_base=PERIPHERAL_BASE,
         )
-        self._cpu_ticker = PeriodicTicker(
-            self.kernel, "cpu.clock", self.cpu_period, self._cpu_step
+        self.cpu_block_cycles = int(cpu_block_cycles)
+        self._cpu_driver = _CpuBlockDriver(
+            self.kernel,
+            "cpu.clock",
+            self.cpu,
+            self.cpu_period,
+            self.cpu_block_cycles,
         )
 
         self.analog_style: str | None = None
         self._analog_modules: list[object] = []
-
-    # -- digital side -----------------------------------------------------------------------
-    def _cpu_step(self, now: float) -> None:
-        self.cpu.step()
 
     # -- analog attachment --------------------------------------------------------------------
     def _ensure_unattached(self) -> None:

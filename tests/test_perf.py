@@ -1,0 +1,169 @@
+"""Tests for the ``repro.perf`` baseline/regression subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BaselineStore,
+    BenchmarkRecord,
+    Regression,
+    best_of,
+    compare_records,
+)
+from repro.perf.baseline import PerfError
+
+
+def record(name="iss", rate=100.0, cost=2.0) -> BenchmarkRecord:
+    return BenchmarkRecord(
+        name=name,
+        metrics={"rate": rate, "seconds": cost},
+        maximize=("rate",),
+        meta={"smoke": True},
+    )
+
+
+class TestBenchmarkRecord:
+    def test_json_round_trip(self):
+        original = record()
+        restored = BenchmarkRecord.from_json(original.to_json())
+        assert restored == original
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(PerfError):
+            BenchmarkRecord.from_json("{}")
+        with pytest.raises(PerfError):
+            BenchmarkRecord.from_json(json.dumps({"name": "x", "metrics": "no"}))
+
+    def test_unknown_maximize_metric_rejected(self):
+        with pytest.raises(PerfError):
+            BenchmarkRecord(name="x", metrics={"a": 1.0}, maximize=("b",))
+
+    def test_environment_meta_has_provenance(self):
+        meta = BenchmarkRecord.environment_meta()
+        assert {"python", "implementation", "machine", "recorded_unix_time"} <= set(meta)
+
+
+class TestCompareRecords:
+    def test_no_regression_within_tolerance(self):
+        assert compare_records(record(), record(rate=80.0, cost=2.5)) == []
+
+    def test_rate_drop_is_flagged(self):
+        regressions = compare_records(record(), record(rate=50.0))
+        assert [r.metric for r in regressions] == ["rate"]
+        assert regressions[0].retained == pytest.approx(0.5)
+        assert "50% retained" in regressions[0].describe()
+
+    def test_cost_increase_is_flagged(self):
+        regressions = compare_records(record(), record(cost=4.0))
+        assert [r.metric for r in regressions] == ["seconds"]
+        assert regressions[0].retained == pytest.approx(0.5)
+
+    def test_new_and_removed_metrics_ignored(self):
+        baseline = record()
+        current = BenchmarkRecord(
+            name="iss", metrics={"rate": 100.0, "fresh": 1.0}, maximize=("rate",)
+        )
+        assert compare_records(baseline, current) == []
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(PerfError):
+            compare_records(record("a"), record("b"))
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_records(record(), record(), tolerance=1.0)
+
+
+class TestBaselineStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        path = store.save(record())
+        assert path.name == "BENCH_iss.json"
+        assert store.load("iss") == record()
+        assert store.load("missing") is None
+
+    def test_load_all_and_compare(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(record("iss"))
+        store.save(record("kernel", rate=10.0))
+        assert set(store.load_all()) == {"iss", "kernel"}
+        regressions, missing = store.compare(
+            [record("iss", rate=10.0), record("new")]
+        )
+        assert missing == ["new"]
+        assert [r.benchmark for r in regressions] == ["iss"]
+        assert all(isinstance(r, Regression) for r in regressions)
+
+    def test_empty_directory(self, tmp_path):
+        store = BaselineStore(tmp_path / "never_created")
+        assert store.load_all() == {}
+
+    def test_smoke_and_full_baselines_are_not_comparable(self, tmp_path):
+        # A full-size run against a smoke baseline (or vice versa) must not
+        # produce spurious regressions — it is reported as missing instead.
+        store = BaselineStore(tmp_path)
+        store.save(record("iss"))  # meta.smoke = True
+        full = BenchmarkRecord(
+            name="iss", metrics={"rate": 10.0}, maximize=("rate",),
+            meta={"smoke": False},
+        )
+        regressions, missing = store.compare([full])
+        assert regressions == []
+        assert missing == ["iss"]
+
+
+class TestTimingHelpers:
+    def test_best_of_returns_positive_minimum(self):
+        calls = []
+        elapsed = best_of(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert elapsed >= 0.0
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+
+
+class TestRecordCli:
+    def test_record_then_compare(self, tmp_path, monkeypatch, capsys):
+        # Run the actual CLI against a tiny suite stub so the test is fast
+        # and deterministic: one benchmark whose rate halves on the re-run.
+        import importlib.util
+        import pathlib
+        import sys
+
+        spec = importlib.util.spec_from_file_location(
+            "record_cli",
+            pathlib.Path(__file__).parent.parent / "benchmarks" / "record.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        rates = iter([100.0, 40.0])
+
+        def fake_suite(smoke=False):
+            return [record(rate=next(rates))]
+
+        monkeypatch.setattr(module, "run_suite", fake_suite)
+        out_dir = str(tmp_path / "baselines")
+        assert module.main(["--smoke", "--out", out_dir]) == 0
+        assert (tmp_path / "baselines" / "BENCH_iss.json").exists()
+        assert (
+            module.main(["--smoke", "--out", out_dir, "--compare", "--strict"]) == 1
+        )
+        captured = capsys.readouterr().out
+        assert "REGRESSION" in captured
+        assert sys.modules  # keep flake quiet about the import
+
+    def test_perf_suite_smoke_runs(self):
+        # The real suite at smoke size: records exist, metrics are positive,
+        # and the tentpole's measured block speedup is present.
+        from repro.perf.suite import bench_de_kernel
+
+        result = bench_de_kernel(smoke=True)
+        assert result.name == "de_kernel"
+        assert result.metrics["events_per_second"] > 0
+        assert result.meta["smoke"] is True

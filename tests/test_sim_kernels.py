@@ -34,6 +34,18 @@ class TestDeKernel:
         with pytest.raises(SimulationError):
             Kernel().schedule(-1.0, lambda: None)
 
+    def test_end_time_exposed_during_bounded_run(self):
+        # Batch processes (the VP's CPU block driver) clamp their burst size
+        # to the run horizon; it must be visible inside events and cleared
+        # again once the run returns.
+        kernel = Kernel()
+        seen = []
+        kernel.schedule(1e-6, lambda: seen.append(kernel.end_time))
+        assert kernel.end_time is None
+        kernel.run(5e-6)
+        assert seen == [pytest.approx(5e-6)]
+        assert kernel.end_time is None
+
     def test_stop_terminates_run(self):
         kernel = Kernel()
         executed = []

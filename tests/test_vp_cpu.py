@@ -184,6 +184,67 @@ class TestCpuInstructions:
         assert cpu.read_register(register_number("$t4")) == 7
         assert cpu.read_register(register_number("$t5")) == 1
 
+    def test_signed_division_truncates_toward_zero(self):
+        # -7 / 2 = -3 rem -1 (truncation, not floor: floor would give -4 rem 1).
+        cpu = run_program(
+            """
+            li    $t0, -7
+            li    $t1, 2
+            div   $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            li    $t4, 7
+            li    $t5, -2
+            div   $t4, $t5
+            mflo  $t6
+            mfhi  $t7
+            li    $s0, -7
+            li    $s1, -2
+            div   $s0, $s1
+            mflo  $s2
+            mfhi  $s3
+            halt: beq $zero, $zero, halt
+            """
+        )
+        assert to_signed_32(cpu.read_register(register_number("$t2"))) == -3
+        assert to_signed_32(cpu.read_register(register_number("$t3"))) == -1
+        assert to_signed_32(cpu.read_register(register_number("$t6"))) == -3
+        assert to_signed_32(cpu.read_register(register_number("$t7"))) == 1
+        assert to_signed_32(cpu.read_register(register_number("$s2"))) == 3
+        assert to_signed_32(cpu.read_register(register_number("$s3"))) == -1
+
+    def test_division_is_exact_at_int_extremes(self):
+        # INT_MAX / 1 must be exact: the old float round trip returned
+        # int(2147483647 / 1.0) == 2147483648.  INT_MIN / -1 overflows to
+        # 0x80000000 (the wrapped two's-complement result); remainder 0.
+        cpu = run_program(
+            """
+            li    $t0, 0x7FFFFFFF
+            li    $t1, 1
+            div   $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            li    $t4, 0x80000000
+            li    $t5, -1
+            div   $t4, $t5
+            mflo  $t6
+            mfhi  $t7
+            li    $s0, 5
+            li    $s1, 0
+            div   $s0, $s1
+            mflo  $s2
+            mfhi  $s3
+            halt: beq $zero, $zero, halt
+            """
+        )
+        assert cpu.read_register(register_number("$t2")) == 0x7FFFFFFF
+        assert cpu.read_register(register_number("$t3")) == 0
+        assert cpu.read_register(register_number("$t6")) == 0x80000000
+        assert cpu.read_register(register_number("$t7")) == 0
+        # Division by zero leaves hi/lo cleared (the documented model).
+        assert cpu.read_register(register_number("$s2")) == 0
+        assert cpu.read_register(register_number("$s3")) == 0
+
     def test_register_zero_is_immutable(self):
         cpu = run_program(
             """

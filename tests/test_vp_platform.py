@@ -145,6 +145,41 @@ class TestSmartSystemPlatform:
         result = platform.run(100e-6)
         assert len(result.uart_output) > 5
 
+    @pytest.mark.parametrize("style", ["python", "de", "tdf", "eln", "cosim"])
+    def test_block_stepping_fingerprint_identical_per_style(self, rc1_compiled, style):
+        """Block-stepped CPU scheduling is timing-equivalent to per-tick.
+
+        For every analog integration style the software-visible outcome
+        (:meth:`PlatformRunResult.fingerprint`) *and* the recorded ADC sample
+        stream must be bit-identical whether the CPU advances one instruction
+        per kernel event or in blocks — including an odd block size that
+        never divides the peripheral-access pattern evenly.
+        """
+        from repro.circuits import build_rc_filter
+
+        duration = 60e-6 if style == "cosim" else 120e-6
+        outcomes = []
+        for block in (1, 7, 256):
+            stimuli = {"vin": SquareWave(period=40e-6)}
+            platform = SmartSystemPlatform(
+                firmware=threshold_monitor_source(100),
+                cpu_block_cycles=block,
+                record_analog=True,
+            )
+            if style in ("python", "de", "tdf"):
+                platform.attach_analog(style, stimuli, model=rc1_compiled)
+            else:
+                platform.attach_analog(
+                    style, stimuli, circuit=build_rc_filter(1), output="V(out)"
+                )
+            result = platform.run(duration)
+            outcomes.append((result.fingerprint(), tuple(result.analog_trace)))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_cpu_block_cycles_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SmartSystemPlatform(cpu_block_cycles=0)
+
     def test_cpu_clock_controls_instruction_count(self, rc1_compiled):
         stimuli = {"vin": SquareWave(period=40e-6)}
         fast = SmartSystemPlatform(cpu_clock_hz=20e6)
