@@ -1,15 +1,9 @@
 #!/usr/bin/env python3
 """Record machine-readable performance baselines (``BENCH_*.json``).
 
-Runs the standard :mod:`repro.perf.suite` workloads and writes one
-``BENCH_<name>.json`` per benchmark into the baseline directory (default:
-``benchmarks/baselines/``).  With ``--compare`` the suite is re-run and the
-fresh numbers are checked against the last recorded baselines instead of
-overwriting them; regressions beyond ``--tolerance`` are reported (and fail
-the run under ``--strict``).
-
-Baselines are wall-clock numbers of *this* machine — record and compare on
-the same host.  Typical use::
+Thin in-repo wrapper around :mod:`repro.perf.cli` (the installed
+``repro-bench`` script) that defaults the baseline directory to
+``benchmarks/baselines/``.  Typical use::
 
     PYTHONPATH=src python benchmarks/record.py --smoke            # record
     PYTHONPATH=src python benchmarks/record.py --smoke --compare  # check
@@ -17,78 +11,15 @@ the same host.  Typical use::
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.perf import BaselineStore  # noqa: E402
-from repro.perf.suite import run_suite  # noqa: E402
+from repro.perf.cli import main  # noqa: E402
 
 DEFAULT_BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI-sized workloads (seconds, not minutes); measured the same way",
-    )
-    parser.add_argument(
-        "--out",
-        default=DEFAULT_BASELINE_DIR,
-        help="baseline directory (default: benchmarks/baselines/)",
-    )
-    parser.add_argument(
-        "--compare",
-        action="store_true",
-        help="compare against the recorded baselines instead of overwriting them",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.30,
-        help="fraction of baseline performance a metric may lose before it is "
-        "flagged (default 0.30, i.e. flag below 70%% retained)",
-    )
-    parser.add_argument(
-        "--strict",
-        action="store_true",
-        help="exit non-zero when --compare finds regressions",
-    )
-    arguments = parser.parse_args(argv)
-    store = BaselineStore(arguments.out)
-
-    print(f"Running the perf suite ({'smoke' if arguments.smoke else 'full'} size)...")
-    records = run_suite(smoke=arguments.smoke)
-    for record in records:
-        print(f"  {record.name}:")
-        for metric, value in sorted(record.metrics.items()):
-            print(f"    {metric:35s} {value:12.4g}")
-
-    if arguments.compare:
-        regressions, missing = store.compare(records, tolerance=arguments.tolerance)
-        for name in missing:
-            print(
-                f"  note: no comparable baseline for {name!r} in "
-                f"{store.directory} (never recorded, or recorded at a "
-                f"different workload size)"
-            )
-        if regressions:
-            print(f"\n{len(regressions)} regression(s) vs the last recorded baseline:")
-            for regression in regressions:
-                print(f"  REGRESSION {regression.describe()}")
-            return 1 if arguments.strict else 0
-        print("\nno regressions vs the last recorded baseline")
-        return 0
-
-    for record in records:
-        path = store.save(record)
-        print(f"  wrote {path}")
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(default_out=DEFAULT_BASELINE_DIR))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A 4-stop tour of fault campaigns: universe → spec → campaign → verdicts.
+
+Stop 1 — a **fault universe** mixes the two fault families: analog faults
+are netlist transforms (a drifted resistor, an open feedback path) applied
+*before* abstraction, so the faulty behaviour flows through every code
+generation backend; digital faults are platform hooks (a stuck ADC bit, a
+RAM upset, corrupted code) armed on the assembled virtual platform.
+Stop 2 — a **FaultCampaignSpec** crosses the universe with activation times
+and platform scenarios, always prepending one golden (fault-free) run.
+Stop 3 — one ``FaultCampaignRunner.run`` call executes every experiment
+through the platform-sweep multiprocessing fan-out, with crash capture: a
+fault that takes the CPU down is an *outcome*, not an error.
+Stop 4 — every fault gets a verdict — silent, trace-divergent,
+firmware-detected, or crash — rolled up into coverage matrices and a
+dictionary-style collapse of observationally equivalent faults.
+
+Run with:  python examples/fault_campaign_tour.py
+"""
+
+from repro.circuits import rc_benchmark
+from repro.fault import (
+    AdcStuckBitFault,
+    FaultCampaignRunner,
+    FaultCampaignSpec,
+    MemoryBitFlipFault,
+    ParameterDriftFault,
+    RegisterTransientFault,
+    UartCorruptionFault,
+    analog_fault_universe,
+)
+from repro.sim import SquareWave
+from repro.sweep import PlatformScenarioSpec
+from repro.vp import threshold_monitor_source
+
+
+def main() -> None:
+    bench = rc_benchmark(1)
+    faults = [                                         # stop 1: the universe
+        ParameterDriftFault("r1", 1.0 + 1e-9),  # negligible drift: silent
+        *analog_fault_universe(bench.circuit()),  # open/short/drift per branch
+        AdcStuckBitFault(bit=9, stuck_at=1),  # +512 mV on every sample read
+        AdcStuckBitFault(bit=0, stuck_at=0),  # LSB stuck low
+        RegisterTransientFault(register=17, bit=4),  # upset in $s1 (counter)
+        MemoryBitFlipFault(bit=2),  # upset in the RAM crossing counter
+        UartCorruptionFault(0x20),  # serial link flips the case bit
+    ]
+    spec = FaultCampaignSpec(                          # stop 2: the campaign
+        faults=faults,
+        activation_times=(60e-6,),
+        scenarios=PlatformScenarioSpec(
+            firmwares={"threshold": threshold_monitor_source(500)},
+        ),
+    )
+    runner = FaultCampaignRunner(                      # stop 3: the execution
+        bench.build,
+        "out",
+        {"vin": SquareWave(period=40e-6)},
+        workers=1,           # >1 fans runs across processes, same verdicts
+    )
+    result = runner.run(spec, duration=1.2e-4)
+    print(result.to_markdown())                        # stop 4: the verdicts
+
+
+if __name__ == "__main__":
+    main()

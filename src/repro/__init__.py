@@ -7,9 +7,11 @@ models into discrete-event code and the automatic abstraction of conservative
 (electrical network) descriptions into signal-flow models restricted to the
 outputs of interest, together with every substrate the evaluation needs
 (Verilog-AMS frontend, DE/TDF/ELN simulation kernels, a reference AMS engine,
-a MIPS-based virtual platform and the benchmark circuits) and a batch
+a MIPS-based virtual platform and the benchmark circuits), a batch
 engine (:mod:`repro.sweep`) that simulates whole parameter sweeps through a
-vectorized NumPy backend.
+vectorized NumPy backend, and a fault-injection subsystem
+(:mod:`repro.fault`) that runs golden-referenced robustness campaigns across
+the analog, digital and firmware layers at once.
 
 Quick start::
 
@@ -28,6 +30,7 @@ from .core.flow import AbstractionFlow, AbstractionReport, abstract_circuit
 from .core.signalflow import SignalFlowModel, convert_signal_flow
 from .core.statespace import abstract_state_space
 from .errors import ReproError
+from .fault import FaultCampaignResult, FaultCampaignRunner, FaultCampaignSpec
 from .network.circuit import Circuit
 from .sweep import (
     CornerSpec,
@@ -46,6 +49,9 @@ __all__ = [
     "AbstractionReport",
     "Circuit",
     "CornerSpec",
+    "FaultCampaignResult",
+    "FaultCampaignRunner",
+    "FaultCampaignSpec",
     "GridSpec",
     "MonteCarloSpec",
     "ReproError",

@@ -113,3 +113,7 @@ class CpuFault(PlatformError):
 
 class BusError(PlatformError):
     """An APB transaction addressed an unmapped region or misbehaved."""
+
+
+class FaultError(ReproError):
+    """A fault model or campaign specification is malformed or inapplicable."""

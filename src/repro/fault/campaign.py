@@ -1,0 +1,301 @@
+"""The fault-campaign engine: fault universe × activation times × scenarios.
+
+A :class:`FaultCampaignSpec` crosses three axes into a flat, deterministically
+ordered list of :class:`FaultRun` experiments:
+
+* the **fault universe** — any mix of analog netlist transforms and digital
+  platform hooks from :mod:`repro.fault.models`;
+* the **activation times** — absolute instants at which time-gated digital
+  faults strike (analog faults are structural and permanently present, so
+  they expand once, not once per time);
+* the **platform scenarios** — a
+  :class:`~repro.sweep.platform.PlatformScenarioSpec` (analog parameter
+  point × integration style × firmware × stimulus family), defaulting to the
+  single nominal configuration.
+
+The expansion always starts with one **golden** (fault-free) run per platform
+scenario: the reference every faulted run is compared against.  Per-run seeds
+come from :mod:`repro.sweep.seeds`, the same spawn-based derivation the sweep
+layer uses, so faults with randomized targets (e.g. random-address RAM
+upsets) inject identically in serial and multiprocess executions.
+
+:class:`FaultCampaignRunner` executes the expansion through the existing
+:class:`~repro.sweep.platform.PlatformSweepRunner` multiprocessing fan-out —
+a fault run *is* a platform scenario, carried by the picklable
+:class:`FaultScenario` subclass — with error capture on, so a fault that
+takes the CPU down (or makes the faulted netlist unabstractable) is recorded
+as a crash outcome instead of aborting the campaign.  The result is a
+:class:`~repro.fault.report.FaultCampaignResult` with per-fault verdicts,
+coverage matrices and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import FaultError
+from ..network.circuit import Circuit
+from ..sweep.platform import (
+    PlatformScenario,
+    PlatformScenarioSpec,
+    PlatformSweepRunner,
+    StimulusFamily,
+    Stimuli,
+)
+from ..sweep.seeds import spawn_seeds
+from ..vp.platform import SmartSystemPlatform
+from .models import AnalogFault, DigitalFault, FaultModel
+from .report import FaultCampaignResult
+
+#: Synthetic factory parameter carrying the analog fault name through the
+#: sweep layer.  It rides in ``PlatformScenario.params``, so the sweep
+#: runner's per-parameter model memo naturally keys faulted abstractions
+#: apart from nominal ones.
+FAULT_PARAM = "_fault"
+
+
+@dataclass
+class FaultRun:
+    """One campaign experiment: a fault (or none) on one platform scenario."""
+
+    index: int
+    fault: "FaultModel | None"
+    at_time: float
+    scenario: PlatformScenario
+    seed: int
+
+    @property
+    def golden(self) -> bool:
+        return self.fault is None
+
+    def describe(self) -> str:
+        tag = "golden" if self.fault is None else self.fault.name
+        when = "" if self.fault is None or self.fault.layer == "analog" else (
+            f"@{self.at_time:g}s"
+        )
+        return f"[{self.index}] {tag}{when} on {self.scenario.describe()}"
+
+
+@dataclass
+class FaultScenario(PlatformScenario):
+    """A platform scenario with a fault riding along (picklable worker unit).
+
+    Analog faults travel inside ``params`` (see :data:`FAULT_PARAM`) and are
+    applied by the campaign's circuit factory; digital faults arm themselves
+    on the assembled platform through the scenario preparation hook, inside
+    the worker process.
+    """
+
+    fault: "FaultModel | None" = None
+    at_time: float = 0.0
+    fault_seed: int = 0
+
+    def prepare_platform(self, platform: SmartSystemPlatform) -> None:
+        if isinstance(self.fault, DigitalFault):
+            self.fault.arm(
+                platform, self.at_time, np.random.default_rng(self.fault_seed)
+            )
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.fault is None:
+            return f"{base} golden"
+        return f"{base} fault={self.fault.name}"
+
+
+@dataclass
+class FaultableCircuitFactory:
+    """Circuit factory wrapper applying the named analog fault after build.
+
+    The sweep workers call ``factory(**scenario.params)``; when the params
+    carry :data:`FAULT_PARAM`, the corresponding netlist transform runs on
+    the freshly built circuit.  Module-level and dataclass-based so the whole
+    recipe pickles into worker processes.
+    """
+
+    base: Callable[..., Circuit]
+    faults: dict[str, AnalogFault] = field(default_factory=dict)
+
+    def __call__(self, _fault: str = "", **params) -> Circuit:
+        circuit = self.base(**params)
+        if _fault:
+            self.faults[_fault].apply(circuit)
+        return circuit
+
+
+@dataclass
+class FaultCampaignSpec:
+    """Declarative description of a robustness campaign.
+
+    ``activation_times`` applies to digital (time-gated) faults only; analog
+    faults are structural and expand exactly once per platform scenario.
+    ``scenarios`` defaults to the single nominal platform configuration
+    (``python`` integration style, default firmware and stimulus).
+    """
+
+    faults: Sequence[FaultModel]
+    activation_times: Sequence[float] = (0.0,)
+    scenarios: "PlatformScenarioSpec | None" = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise FaultError("a fault campaign needs at least one fault")
+        names = [fault.name for fault in self.faults]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise FaultError(
+                f"duplicate fault names in the campaign universe: {duplicates}"
+            )
+        if not self.activation_times:
+            raise FaultError("a fault campaign needs at least one activation time")
+        for time in self.activation_times:
+            if time < 0.0:
+                raise FaultError("activation times must be non-negative")
+
+    # -- axis expansion ----------------------------------------------------------------
+    def platform_scenarios(self) -> list[PlatformScenario]:
+        spec = self.scenarios if self.scenarios is not None else PlatformScenarioSpec()
+        return spec.expand()
+
+    def firmware_table(self) -> dict[str, "str | None"]:
+        if self.scenarios is not None:
+            return self.scenarios.firmware_table()
+        return {"default": None}
+
+    def analog_faults(self) -> dict[str, AnalogFault]:
+        return {
+            fault.name: fault
+            for fault in self.faults
+            if isinstance(fault, AnalogFault)
+        }
+
+    def expand(self) -> list[FaultRun]:
+        """The flat campaign: golden runs first, then every faulted run.
+
+        Ordering is deterministic and row-major (fault outermost, activation
+        time, then platform scenario), so run indices are stable across
+        serial and multiprocess executions.
+        """
+        scenarios = self.platform_scenarios()
+        runs: list[FaultRun] = []
+        for scenario in scenarios:
+            runs.append(FaultRun(len(runs), None, 0.0, scenario, 0))
+        for fault in self.faults:
+            times = (
+                (0.0,) if isinstance(fault, AnalogFault) else self.activation_times
+            )
+            for at_time in times:
+                for scenario in scenarios:
+                    runs.append(FaultRun(len(runs), fault, at_time, scenario, 0))
+        for run, seed in zip(runs, spawn_seeds(self.seed, len(runs))):
+            run.seed = seed
+        return runs
+
+    def __len__(self) -> int:
+        scenarios = len(self.platform_scenarios())
+        analog = sum(1 for fault in self.faults if isinstance(fault, AnalogFault))
+        digital = len(self.faults) - analog
+        return scenarios * (1 + analog + digital * len(list(self.activation_times)))
+
+
+class FaultCampaignRunner:
+    """Expand a campaign spec, run every experiment, classify every fault.
+
+    Construction mirrors :class:`~repro.sweep.platform.PlatformSweepRunner`
+    (circuit factory, observed output, stimulus families, timestep, worker
+    count); ``nrmse_threshold`` is the ADC-trace divergence level above which
+    a fault that left the software outcome untouched still counts as
+    *trace-divergent* rather than *silent*.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Circuit],
+        output: str,
+        stimuli: "Stimuli | Mapping[str, StimulusFamily]",
+        timestep: float = 50e-9,
+        cpu_clock_hz: float = 20e6,
+        method: str = "backward_euler",
+        families: "bool | None" = None,
+        workers: int = 1,
+        cpu_block_cycles: int = 256,
+        nrmse_threshold: float = 1e-3,
+        cosim_options: "Mapping[str, int] | None" = None,
+    ) -> None:
+        if nrmse_threshold <= 0.0:
+            raise FaultError("the NRMSE divergence threshold must be positive")
+        self.factory = factory
+        self.output = output
+        self.stimuli = stimuli
+        self.timestep = float(timestep)
+        self.cpu_clock_hz = float(cpu_clock_hz)
+        self.method = method
+        self.families = families
+        self.workers = int(workers)
+        self.cpu_block_cycles = int(cpu_block_cycles)
+        self.nrmse_threshold = float(nrmse_threshold)
+        self.cosim_options = cosim_options
+
+    def run(self, spec: FaultCampaignSpec, duration: float) -> FaultCampaignResult:
+        """Execute every run of ``spec`` for ``duration`` seconds each."""
+        runs = spec.expand()
+        for run in runs:
+            if (
+                run.fault is not None
+                and run.fault.layer == "digital"
+                and run.at_time >= duration
+            ):
+                raise FaultError(
+                    f"{run.describe()} activates at {run.at_time:g}s, at or "
+                    f"beyond the {duration:g}s campaign duration — the fault "
+                    f"would never strike"
+                )
+        scenarios = [self._as_scenario(position, run) for position, run in enumerate(runs)]
+        runner = PlatformSweepRunner(
+            FaultableCircuitFactory(self.factory, spec.analog_faults()),
+            self.output,
+            self.stimuli,
+            timestep=self.timestep,
+            cpu_clock_hz=self.cpu_clock_hz,
+            method=self.method,
+            families=self.families,
+            workers=self.workers,
+            record_analog=True,
+            cpu_block_cycles=self.cpu_block_cycles,
+            cosim_options=self.cosim_options,
+            capture_errors=True,
+        )
+        sweep = runner.run(scenarios, duration, firmwares=spec.firmware_table())
+        return FaultCampaignResult(
+            runs=runs,
+            results=sweep.results,
+            elapsed=sweep.elapsed,
+            duration=float(duration),
+            timestep=self.timestep,
+            workers=sweep.workers,
+            nrmse_threshold=self.nrmse_threshold,
+            timings=dict(sweep.timings),
+        )
+
+    @staticmethod
+    def _as_scenario(position: int, run: FaultRun) -> FaultScenario:
+        params = dict(run.scenario.params)
+        if isinstance(run.fault, AnalogFault):
+            params[FAULT_PARAM] = run.fault.name
+        return FaultScenario(
+            index=position,
+            label=run.scenario.label,
+            params=params,
+            style=run.scenario.style,
+            firmware=run.scenario.firmware,
+            stimulus=run.scenario.stimulus,
+            seed=run.scenario.seed,
+            origin="fault-campaign",
+            fault=run.fault,
+            at_time=run.at_time,
+            fault_seed=run.seed,
+        )

@@ -1,0 +1,87 @@
+"""The ``repro-bench`` entry point: record/compare performance baselines.
+
+Runs the standard :mod:`repro.perf.suite` workloads and writes one
+``BENCH_<name>.json`` per benchmark into the baseline directory.  With
+``--compare`` the suite is re-run and the fresh numbers are checked against
+the last recorded baselines instead of overwriting them; regressions beyond
+``--tolerance`` are reported (and fail the run under ``--strict``).
+
+Baselines are wall-clock numbers of *this* machine — record and compare on
+the same host.  ``benchmarks/record.py`` is the in-repo wrapper that defaults
+the baseline directory to ``benchmarks/baselines/``; the installed
+``repro-bench`` script defaults to ``./perf-baselines``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .baseline import BaselineStore
+from .suite import run_suite
+
+DEFAULT_BASELINE_DIR = "perf-baselines"
+
+
+def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DIR) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workloads (seconds, not minutes); measured the same way",
+    )
+    parser.add_argument(
+        "--out",
+        default=default_out,
+        help=f"baseline directory (default: {default_out}/)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the recorded baselines instead of overwriting them",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fraction of baseline performance a metric may lose before it is "
+        "flagged (default 0.30, i.e. flag below 70%% retained)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when --compare finds regressions",
+    )
+    arguments = parser.parse_args(argv)
+    store = BaselineStore(arguments.out)
+
+    print(f"Running the perf suite ({'smoke' if arguments.smoke else 'full'} size)...")
+    records = run_suite(smoke=arguments.smoke)
+    for record in records:
+        print(f"  {record.name}:")
+        for metric, value in sorted(record.metrics.items()):
+            print(f"    {metric:35s} {value:12.4g}")
+
+    if arguments.compare:
+        regressions, missing = store.compare(records, tolerance=arguments.tolerance)
+        for name in missing:
+            print(
+                f"  note: no comparable baseline for {name!r} in "
+                f"{store.directory} (never recorded, or recorded at a "
+                f"different workload size)"
+            )
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) vs the last recorded baseline:")
+            for regression in regressions:
+                print(f"  REGRESSION {regression.describe()}")
+            return 1 if arguments.strict else 0
+        print("\nno regressions vs the last recorded baseline")
+        return 0
+
+    for record in records:
+        path = store.save(record)
+        print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ from .platform import (
 )
 from .results import SweepResult
 from .runner import SweepConfig, SweepError, SweepRunner, map_scenario_chunks
+from .seeds import derive_seed, spawn_seeds
 from .spec import (
     CompositeSpec,
     CornerSpec,
@@ -72,5 +73,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "derive_seed",
     "map_scenario_chunks",
+    "spawn_seeds",
 ]

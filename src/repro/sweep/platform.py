@@ -36,12 +36,13 @@ import numpy as np
 
 from ..core.flow import AbstractionFlow
 from ..core.signalflow import SignalFlowModel
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
 from ..metrics.nrmse import nrmse
 from ..network.circuit import Circuit, canonical_quantity
 from ..sim.runners import resolve_steps
 from ..vp.platform import ANALOG_STYLES, PlatformRunResult, SmartSystemPlatform
 from .runner import SweepError, map_scenario_chunks
+from .seeds import spawn_seeds
 from .spec import Scenario, SweepSpec, _format_value
 
 Stimuli = Mapping[str, Callable[[float], float]]
@@ -89,6 +90,15 @@ class PlatformScenario:
             parts.append(params)
         return f"[{self.index}] {' '.join(parts)}"
 
+    def prepare_platform(self, platform: SmartSystemPlatform) -> None:
+        """Hook called on the fully assembled platform, just before ``run``.
+
+        The base scenario does nothing; subclasses (the fault campaign's
+        :class:`~repro.fault.campaign.FaultScenario`) override it to arm
+        saboteurs, schedule injections, or otherwise instrument the platform.
+        Runs inside the worker process, so overrides must be picklable.
+        """
+
 
 @dataclass
 class PlatformScenarioSpec:
@@ -108,7 +118,8 @@ class PlatformScenarioSpec:
     to those groups; a chunk cut inside one costs at most one repeated
     abstraction per worker, since the abstraction memo is per-chunk.)
     Every scenario receives a deterministic ``seed``
-    derived from its *analog* axes (parameter point × stimulus × firmware),
+    derived from its *analog* axes (parameter point × stimulus × firmware)
+    through :func:`repro.sweep.seeds.spawn_seeds`,
     shared by all integration styles of that point — seed-aware stimulus
     families therefore drive every style of one smart system with identical
     waveforms, preserving the cross-style equivalence guarantee.
@@ -166,11 +177,15 @@ class PlatformScenarioSpec:
         """The flat, deterministically ordered platform scenario list."""
         scenarios: list[PlatformScenario] = []
         firmware_names = list(self.firmware_table())
+        points = self._parameter_scenarios()
+        seeds = spawn_seeds(
+            self.seed, len(points) * len(list(self.stimuli)) * len(firmware_names)
+        )
         analog_index = 0
-        for point in self._parameter_scenarios():
+        for point in points:
             for stimulus in self.stimuli:
                 for firmware in firmware_names:
-                    seed = self.seed + analog_index
+                    seed = seeds[analog_index]
                     analog_index += 1
                     for style in self.styles:
                         scenarios.append(
@@ -217,6 +232,11 @@ class PlatformSweepConfig:
     #: per-chunk abstraction memo so callers that already ran the abstraction
     #: flow (e.g. the Table III harness) do not pay for it twice.
     premade_models: dict[tuple, SignalFlowModel] = field(default_factory=dict)
+    #: Capture :class:`~repro.errors.ReproError` raised while attaching or
+    #: running a scenario as a ``crashed`` run result instead of aborting the
+    #: whole sweep.  Fault campaigns set this: an injected fault taking the
+    #: CPU down is a *classification outcome* (crash-halt), not a sweep error.
+    capture_errors: bool = False
 
     @property
     def output_quantity(self) -> str:
@@ -251,30 +271,39 @@ def _run_platform_scenario(
         record_analog=config.record_analog,
         cpu_block_cycles=config.cpu_block_cycles,
     )
-    if scenario.style in ABSTRACTED_STYLES:
-        # Build the circuit only on a memo miss: with a seeded/memoised model
-        # the netlist is never needed (and the factory is never called).
-        key = tuple(sorted(scenario.params.items()))
-        model = model_memo.get(key)
-        if model is None:
-            circuit = config.factory(**scenario.params)
-            flow = AbstractionFlow(config.timestep, method=config.method)
-            model = flow.abstract(
-                circuit, config.output, name=circuit.name
-            ).model
-            model_memo[key] = model
-        platform.attach_analog(scenario.style, stimuli, model=model)
-    else:
-        platform.attach_analog(
-            scenario.style,
-            stimuli,
-            circuit=config.factory(**scenario.params),
-            output=config.output_quantity,
-            **(config.cosim_options if scenario.style == "cosim" else {}),
-        )
-    start = _time.perf_counter()
-    result = platform.run(config.duration)
-    return result, _time.perf_counter() - start
+    start = None
+    try:
+        if scenario.style in ABSTRACTED_STYLES:
+            # Build the circuit only on a memo miss: with a seeded/memoised
+            # model the netlist is never needed (and the factory never called).
+            key = tuple(sorted(scenario.params.items()))
+            model = model_memo.get(key)
+            if model is None:
+                circuit = config.factory(**scenario.params)
+                flow = AbstractionFlow(config.timestep, method=config.method)
+                model = flow.abstract(
+                    circuit, config.output, name=circuit.name
+                ).model
+                model_memo[key] = model
+            platform.attach_analog(scenario.style, stimuli, model=model)
+        else:
+            platform.attach_analog(
+                scenario.style,
+                stimuli,
+                circuit=config.factory(**scenario.params),
+                output=config.output_quantity,
+                **(config.cosim_options if scenario.style == "cosim" else {}),
+            )
+        scenario.prepare_platform(platform)
+        start = _time.perf_counter()
+        result = platform.run(config.duration)
+        return result, _time.perf_counter() - start
+    except ReproError as error:
+        if not config.capture_errors:
+            raise
+        result = platform.snapshot(crashed=f"{type(error).__name__}: {error}")
+        wall = _time.perf_counter() - start if start is not None else 0.0
+        return result, wall
 
 
 def _run_platform_chunk(
@@ -328,6 +357,11 @@ class PlatformSweepRunner:
         Instructions the MIPS ISS retires per DE-kernel event in every
         platform (``1`` = the historical one-per-tick model).  Any value
         produces identical scenario fingerprints; larger blocks are faster.
+    capture_errors:
+        Record a scenario whose attach/run raises a
+        :class:`~repro.errors.ReproError` as a *crashed*
+        :class:`~repro.vp.platform.PlatformRunResult` instead of aborting the
+        sweep (see the fault campaign layer, :mod:`repro.fault`).
     """
 
     def __init__(
@@ -344,6 +378,7 @@ class PlatformSweepRunner:
         cpu_block_cycles: int = 256,
         cosim_options: "Mapping[str, int] | None" = None,
         premade_models: "Sequence[tuple[Mapping[str, float], SignalFlowModel]] | None" = None,
+        capture_errors: bool = False,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -361,6 +396,7 @@ class PlatformSweepRunner:
         self.record_analog = bool(record_analog)
         self.cpu_block_cycles = int(cpu_block_cycles)
         self.cosim_options = dict(cosim_options or {})
+        self.capture_errors = bool(capture_errors)
         #: (params, model) pairs of already-abstracted analog points.
         self.premade_models = {
             tuple(sorted(params.items())): model
@@ -452,6 +488,7 @@ class PlatformSweepRunner:
             cpu_block_cycles=self.cpu_block_cycles,
             cosim_options=self.cosim_options,
             premade_models=self.premade_models,
+            capture_errors=self.capture_errors,
         )
 
         wall_start = _time.perf_counter()

@@ -1,0 +1,38 @@
+"""Deterministic seed derivation shared by the sweep and fault layers.
+
+Every layer that hands out per-scenario randomness (platform sweeps with
+seed-aware stimulus families, fault campaigns with randomized injection
+targets) must derive its seeds the same way, or two layers composing the same
+root seed would silently correlate — or worse, drift apart between serial and
+multiprocess runs.  This module is that single source of determinism: child
+seeds come from :class:`numpy.random.SeedSequence` spawning, which is stable
+across runs, platforms and NumPy versions, and statistically independent even
+for adjacent roots (unlike the historical ``root + index`` arithmetic, where
+scenario ``i`` of root ``s`` collided with scenario ``i-1`` of root ``s+1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def derive_seed(root: int, *spawn_key: int) -> int:
+    """The child seed at ``spawn_key`` under ``root``.
+
+    ``derive_seed(root, i)`` equals ``spawn_seeds(root, n)[i]`` for any
+    ``n > i`` — callers that know their index can derive one seed without
+    materialising the sibling list.  Deeper keys (``derive_seed(root, i, j)``)
+    address nested spawns, e.g. per-fault children of a per-scenario seed.
+    """
+    sequence = np.random.SeedSequence(root, spawn_key=tuple(spawn_key))
+    return int(sequence.generate_state(1, np.uint32)[0])
+
+
+def spawn_seeds(root: int, count: int) -> list[int]:
+    """``count`` independent child seeds of ``root``, in spawn order."""
+    if count < 0:
+        raise ValueError("cannot spawn a negative number of seeds")
+    sequence = np.random.SeedSequence(root)
+    return [
+        int(child.generate_state(1, np.uint32)[0]) for child in sequence.spawn(count)
+    ]

@@ -66,6 +66,29 @@ class ApbBus:
         """Names of the attached peripherals."""
         return [mapping.name for mapping in self._mappings]
 
+    def peripheral(self, name: str) -> ApbPeripheral:
+        """The peripheral currently mapped as ``name``."""
+        for mapping in self._mappings:
+            if mapping.name == name:
+                return mapping.peripheral
+        raise BusError(f"no peripheral named {name!r} on the bus")
+
+    def interpose(self, name: str, wrapper) -> ApbPeripheral:
+        """Replace the peripheral mapped as ``name`` with ``wrapper(it)``.
+
+        The saboteur pattern of the fault-injection subsystem: the wrapper
+        receives the currently mapped peripheral and returns the object to map
+        in its place (usually a delegating proxy that corrupts selected
+        transactions).  The address window is unchanged, and transaction
+        statistics keep accumulating on the bus as before.  Returns the newly
+        mapped peripheral.
+        """
+        for mapping in self._mappings:
+            if mapping.name == name:
+                mapping.peripheral = wrapper(mapping.peripheral)
+                return mapping.peripheral
+        raise BusError(f"no peripheral named {name!r} on the bus")
+
     # -- decoding --------------------------------------------------------------------------
     def _decode(self, address: int) -> tuple[_Mapping, int]:
         for mapping in self._mappings:

@@ -16,14 +16,27 @@ class Memory:
 
     Writes can be observed through :meth:`add_write_watcher`; the CPU uses
     this to invalidate its predecoded-instruction cache when anything else
-    (firmware reloads, tests poking at code, ``clear``) touches RAM.  The
-    CPU's own store fast path bypasses these watchers and maintains its
-    cache invalidation directly — watchers see every *external* write.
+    (firmware reloads, tests poking at code, fault injectors, ``clear``)
+    touches RAM.  Watchers are always notified with the *word-aligned* span
+    covering the write — sub-word writes report the whole containing word —
+    so consumers that track word-granular state (the decode cache) never
+    have to re-derive the alignment themselves.  The CPU's own store fast
+    path bypasses these watchers and maintains its cache invalidation
+    directly — watchers see every *external* write.
+
+    :meth:`poke` and :meth:`peek` are the host-side mutation/inspection API:
+    they skip the access statistics (so instrumentation does not perturb
+    platform metrics), and ``poke`` notifies watchers unless the caller
+    explicitly opts out with ``notify=False`` — bypassing watchers on a write
+    into code leaves stale decoded instructions behind, which is only ever
+    correct for observers that want to model exactly that staleness.
     """
 
     def __init__(self, size: int = 64 * 1024, base: int = 0) -> None:
         if size <= 0 or size % 4 != 0:
             raise ValueError("memory size must be a positive multiple of 4")
+        if base % 4 != 0:
+            raise ValueError("memory base address must be word-aligned")
         self.base = base
         self.size = size
         self._data = bytearray(size)
@@ -33,8 +46,26 @@ class Memory:
 
     # -- write observation -------------------------------------------------------------
     def add_write_watcher(self, watcher: Callable[[int, int], None]) -> None:
-        """Call ``watcher(address, width)`` after every write through this API."""
+        """Call ``watcher(address, width)`` after every write through this API.
+
+        ``(address, width)`` is the word-aligned span covering the written
+        bytes: ``address`` is rounded down to a word boundary and ``width``
+        rounded up, clamped to the RAM extent.
+        """
         self._write_watchers.append(watcher)
+
+    def _notify(self, address: int, width: int) -> None:
+        """Notify watchers with the word-aligned covering span of a write."""
+        start = address & ~0x3
+        span = ((address + width + 3) & ~0x3) - start
+        if start < self.base:
+            span -= self.base - start
+            start = self.base
+        end = self.base + self.size
+        if start + span > end:
+            span = end - start
+        for watcher in self._write_watchers:
+            watcher(start, span)
 
     # -- address checking --------------------------------------------------------------
     def _offset(self, address: int, width: int) -> int:
@@ -59,8 +90,7 @@ class Memory:
         self.write_count += 1
         self._data[offset : offset + 4] = int(value & 0xFFFFFFFF).to_bytes(4, "little")
         if self._write_watchers:
-            for watcher in self._write_watchers:
-                watcher(address, 4)
+            self._notify(address, 4)
 
     # -- byte access -----------------------------------------------------------------------
     def read_byte(self, address: int) -> int:
@@ -75,8 +105,56 @@ class Memory:
         self.write_count += 1
         self._data[offset] = value & 0xFF
         if self._write_watchers:
-            for watcher in self._write_watchers:
-                watcher(address, 1)
+            self._notify(address, 1)
+
+    # -- host-side mutation and inspection ----------------------------------------------
+    def peek(self, address: int, width: int = 1) -> bytes:
+        """Read ``width`` raw bytes without touching the access statistics."""
+        offset = self._offset(address, width)
+        return bytes(self._data[offset : offset + width])
+
+    def poke(
+        self,
+        address: int,
+        data: "bytes | bytearray | int",
+        notify: bool = True,
+    ) -> None:
+        """Write raw bytes from the host side (fault injectors, debuggers).
+
+        ``data`` may be a single byte value or a bytes-like object.  The
+        access statistics are left untouched, so instrumentation does not
+        perturb the metrics of the run it observes.  Watchers are notified
+        (word-aligned, like every write) unless ``notify=False`` is passed
+        explicitly — only do that when stale downstream caches (the CPU's
+        decoded instructions) are the *intended* semantics.
+        """
+        if isinstance(data, int):
+            if not 0 <= data <= 0xFF:
+                raise ValueError(
+                    f"poke with an int writes one byte; {data:#x} does not fit "
+                    f"(pass value.to_bytes(...) for wider writes)"
+                )
+            data = bytes((data,))
+        if not data:
+            return
+        offset = self._offset(address, len(data))
+        self._data[offset : offset + len(data)] = data
+        if notify and self._write_watchers:
+            self._notify(address, len(data))
+
+    def flip_bit(self, address: int, bit: int, notify: bool = True) -> int:
+        """Flip one bit of the byte at ``address``; returns the new byte value.
+
+        The single-event-upset primitive of the fault-injection subsystem.
+        """
+        if not 0 <= bit <= 7:
+            raise ValueError("bit index must be in 0..7 (per-byte flip)")
+        offset = self._offset(address, 1)
+        value = self._data[offset] ^ (1 << bit)
+        self._data[offset] = value
+        if notify and self._write_watchers:
+            self._notify(address, 1)
+        return value
 
     # -- bulk helpers ------------------------------------------------------------------------
     def load_image(self, image: bytes, address: int | None = None) -> None:
@@ -85,8 +163,7 @@ class Memory:
         offset = self._offset(address, len(image))
         self._data[offset : offset + len(image)] = image
         if self._write_watchers and image:
-            for watcher in self._write_watchers:
-                watcher(address, len(image))
+            self._notify(address, len(image))
 
     def clear(self) -> None:
         """Zero the whole memory."""
@@ -94,5 +171,4 @@ class Memory:
         self.read_count = 0
         self.write_count = 0
         if self._write_watchers:
-            for watcher in self._write_watchers:
-                watcher(self.base, self.size)
+            self._notify(self.base, self.size)

@@ -17,6 +17,7 @@ analog integration style evaluated in Table III:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -72,6 +73,10 @@ class PlatformRunResult:
     #: Every ADC sample in arrival order, when the platform was built with
     #: ``record_analog=True`` (used for cross-style NRMSE comparisons).
     analog_trace: list[float] | None = None
+    #: ``"ErrorType: message"`` when the run was cut short by a platform
+    #: error (an injected fault crashing the CPU, a bus violation);
+    #: ``None`` for a run that reached its full duration.
+    crashed: str | None = None
 
     def fingerprint(self) -> tuple:
         """The deterministic software-visible outcome of the run.
@@ -86,6 +91,7 @@ class PlatformRunResult:
             self.uart_output,
             self.analog_samples,
             self.crossings_reported,
+            self.crashed,
             self.analog_style,
         )
 
@@ -137,7 +143,25 @@ class _CpuBlockDriver(Module):
         #: ``origin + c * period``, mirroring PeriodicTicker's drift-free grid).
         self.cycle = 0
         self._grid_origin = kernel.now + period
+        #: Absolute times no instruction block may execute across (sorted).
+        #: Injection events use these so a burst never runs an instruction
+        #: whose clock cycle lies at or past a pending mutation.
+        self._sync_times: list[float] = []
         kernel.schedule(period, self._wake)
+
+    def add_sync_point(self, time: float) -> None:
+        """Forbid instruction blocks from crossing the absolute time ``time``.
+
+        Between peripheral accesses the block executor runs *ahead* of the
+        kernel clock, which is unobservable for CPU-private state — until an
+        external event (a fault injection) mutates that state at a scheduled
+        time.  A sync point restores exactness: every instruction whose clock
+        cycle fires strictly before ``time`` executes first, and the cycle at
+        or after ``time`` waits for its own kernel event, matching the
+        one-instruction-per-tick interleaving (the mutation event was
+        scheduled earlier, so at equal timestamps it fires before the tick).
+        """
+        insort(self._sync_times, time)
 
     def _wake(self) -> None:
         kernel = self.kernel
@@ -150,6 +174,21 @@ class _CpuBlockDriver(Module):
             fit = int((end - kernel.now) / self.period + 1e-9) + 1
             if fit < budget:
                 budget = fit if fit >= 1 else 1
+        sync = self._sync_times
+        while sync and sync[0] <= kernel.now + 1e-18:
+            sync.pop(0)  # already behind us: the mutation event has fired
+        if sync and budget > 1:
+            # Cycles at now + j*period with j < (sync - now) / period happen
+            # strictly before the next mutation and are safe to burst; the
+            # first cycle at or past it must start its own kernel event.
+            ratio = (sync[0] - kernel.now) / self.period
+            fit = int(ratio + 1e-9)
+            if fit < ratio - 1e-9:
+                fit += 1
+            if fit < 1:
+                fit = 1
+            if fit < budget:
+                budget = fit
         executed = self.cpu.run_block(budget)
         if executed < 1:
             # Halted CPU: let the idle cycles pass in bulk (the per-tick
@@ -393,14 +432,27 @@ class SmartSystemPlatform:
         self._analog_modules.extend([*sources.values(), bridge, sampler])
         self.analog_style = "verilog_ams_cosim"
 
+    # -- instrumentation ----------------------------------------------------------------------
+    def schedule_injection(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at the absolute virtual time ``time``, exactly.
+
+        The CPU block driver is synchronised around the injection point, so a
+        mutation of CPU-visible state (RAM, registers) lands on precisely the
+        same instruction boundary whether the platform runs per-tick
+        (``cpu_block_cycles=1``) or block-stepped — the fault-injection
+        subsystem's equivalence guarantee rests on this.
+        """
+        self._cpu_driver.add_sync_point(time)
+        self.kernel.schedule_abs(time, action)
+
     # -- execution ----------------------------------------------------------------------------------
-    def run(self, duration: float) -> PlatformRunResult:
-        """Simulate the platform for ``duration`` seconds of virtual time."""
-        if self.analog_style is None:
-            raise PlatformError(
-                "attach an analog subsystem before running the platform"
-            )
-        self.kernel.run(duration)
+    def snapshot(self, crashed: str | None = None) -> PlatformRunResult:
+        """The run statistics of the platform's *current* state.
+
+        :meth:`run` returns this after a completed simulation; crash handlers
+        (the sweep layer's ``capture_errors`` path) call it directly to record
+        how far a faulted platform got before the error.
+        """
         counter_value = self.memory.read_word(0x0000_F000)
         return PlatformRunResult(
             simulated_time=self.kernel.now,
@@ -409,9 +461,19 @@ class SmartSystemPlatform:
             uart_output=self.uart.output_text(),
             analog_samples=self.adc.sample_count,
             crossings_reported=counter_value,
-            analog_style=self.analog_style,
+            analog_style=self.analog_style or "unattached",
             analog_trace=list(self.adc.history) if self.adc.history is not None else None,
+            crashed=crashed,
         )
+
+    def run(self, duration: float) -> PlatformRunResult:
+        """Simulate the platform for ``duration`` seconds of virtual time."""
+        if self.analog_style is None:
+            raise PlatformError(
+                "attach an analog subsystem before running the platform"
+            )
+        self.kernel.run(duration)
+        return self.snapshot()
 
 
 def _instantiate(model: "SignalFlowModel | type | object"):

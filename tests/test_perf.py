@@ -129,11 +129,31 @@ class TestTimingHelpers:
 
 class TestRecordCli:
     def test_record_then_compare(self, tmp_path, monkeypatch, capsys):
-        # Run the actual CLI against a tiny suite stub so the test is fast
-        # and deterministic: one benchmark whose rate halves on the re-run.
+        # Run the actual CLI (the repro-bench entry point) against a tiny
+        # suite stub so the test is fast and deterministic: one benchmark
+        # whose rate halves on the re-run.
+        from repro.perf import cli
+
+        rates = iter([100.0, 40.0])
+
+        def fake_suite(smoke=False):
+            return [record(rate=next(rates))]
+
+        monkeypatch.setattr(cli, "run_suite", fake_suite)
+        out_dir = str(tmp_path / "baselines")
+        assert cli.main(["--smoke", "--out", out_dir]) == 0
+        assert (tmp_path / "baselines" / "BENCH_iss.json").exists()
+        assert (
+            cli.main(["--smoke", "--out", out_dir, "--compare", "--strict"]) == 1
+        )
+        captured = capsys.readouterr().out
+        assert "REGRESSION" in captured
+
+    def test_record_wrapper_script_delegates_to_the_cli(self):
+        # benchmarks/record.py stays the in-repo wrapper: it must load and
+        # re-export the packaged CLI's main.
         import importlib.util
         import pathlib
-        import sys
 
         spec = importlib.util.spec_from_file_location(
             "record_cli",
@@ -141,22 +161,10 @@ class TestRecordCli:
         )
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
+        from repro.perf.cli import main
 
-        rates = iter([100.0, 40.0])
-
-        def fake_suite(smoke=False):
-            return [record(rate=next(rates))]
-
-        monkeypatch.setattr(module, "run_suite", fake_suite)
-        out_dir = str(tmp_path / "baselines")
-        assert module.main(["--smoke", "--out", out_dir]) == 0
-        assert (tmp_path / "baselines" / "BENCH_iss.json").exists()
-        assert (
-            module.main(["--smoke", "--out", out_dir, "--compare", "--strict"]) == 1
-        )
-        captured = capsys.readouterr().out
-        assert "REGRESSION" in captured
-        assert sys.modules  # keep flake quiet about the import
+        assert module.main is main
+        assert module.DEFAULT_BASELINE_DIR.endswith("baselines")
 
     def test_perf_suite_smoke_runs(self):
         # The real suite at smoke size: records exist, metrics are positive,

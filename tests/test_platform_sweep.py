@@ -69,10 +69,18 @@ class TestPlatformScenarioSpec:
         assert only.firmware == "default" and only.stimulus == "default"
 
     def test_per_scenario_seeds_are_deterministic(self):
+        from repro.sweep import spawn_seeds
+
         spec = PlatformScenarioSpec(parameters=RC_GRID, styles=("python",), seed=100)
         seeds = [s.seed for s in spec.expand()]
-        assert seeds == [100, 101]
+        # Derived through the shared seeds helper (SeedSequence spawning),
+        # and stable across expansions.
+        assert seeds == spawn_seeds(100, 2)
+        assert len(set(seeds)) == 2
         assert [s.seed for s in spec.expand()] == seeds
+        assert [s.seed for s in PlatformScenarioSpec(
+            parameters=RC_GRID, styles=("python",), seed=101
+        ).expand()] != seeds
 
     def test_styles_of_one_analog_point_share_the_seed(self):
         """Regression: the seed is an *analog* property — if styles got
@@ -81,11 +89,15 @@ class TestPlatformScenarioSpec:
         spec = PlatformScenarioSpec(
             parameters=RC_GRID, styles=("python", "de", "tdf"), seed=7
         )
+        from repro.sweep import spawn_seeds
+
         by_key: dict[tuple, set] = {}
         for scenario in spec.expand():
             by_key.setdefault(scenario.analog_key(), set()).add(scenario.seed)
         assert all(len(seeds) == 1 for seeds in by_key.values())
-        assert sorted(seeds.pop() for seeds in by_key.values()) == [7, 8]
+        assert sorted(seeds.pop() for seeds in by_key.values()) == sorted(
+            spawn_seeds(7, 2)
+        )
 
     def test_validation(self):
         with pytest.raises(SweepError):

@@ -1,0 +1,45 @@
+"""Tests of the shared seed-derivation helper (``repro.sweep.seeds``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import derive_seed, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_deterministic_across_calls(self):
+        assert spawn_seeds(7, 16) == spawn_seeds(7, 16)
+
+    def test_prefix_stable(self):
+        """Growing the sweep must not reshuffle existing scenario seeds."""
+        assert spawn_seeds(7, 32)[:16] == spawn_seeds(7, 16)
+
+    def test_roots_are_independent(self):
+        """The failure mode of the old ``root + index`` arithmetic: adjacent
+        roots shared almost all of their seeds."""
+        a, b = spawn_seeds(100, 64), spawn_seeds(101, 64)
+        assert not set(a) & set(b)
+
+    def test_children_are_distinct(self):
+        seeds = spawn_seeds(0, 256)
+        assert len(set(seeds)) == 256
+
+    def test_seeds_are_uint32(self):
+        assert all(0 <= seed < 2**32 for seed in spawn_seeds(3, 64))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+        assert spawn_seeds(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_matches_spawn_position(self):
+        """``derive_seed(root, i)`` addresses spawn child ``i`` directly."""
+        seeds = spawn_seeds(42, 8)
+        assert [derive_seed(42, index) for index in range(8)] == seeds
+
+    def test_nested_keys_differ_from_flat_ones(self):
+        assert derive_seed(0, 1, 2) != derive_seed(0, 1)
+        assert derive_seed(0, 1, 2) == derive_seed(0, 1, 2)

@@ -168,6 +168,47 @@ class TestDecodeCacheInvalidation:
         cpu.run_block(4)
         assert cpu.read_register(register_number("$v0")) == 13
 
+    def test_external_byte_write_into_code_invalidates(self):
+        # Sub-word external write: patch only the immediate byte of the
+        # surviving `ori $v0, $zero, 5` (li expands to lui+ori).  The
+        # watcher's word-aligned span must drop the covering decoded word.
+        cpu = fresh_cpu("li $v0, 5\nhalt: beq $zero, $zero, halt\n")
+        cpu.run_block(4)
+        assert cpu.read_register(register_number("$v0")) == 5
+        cpu.memory.write_byte(4, 9)
+        cpu.reset()
+        cpu.run_block(4)
+        assert cpu.read_register(register_number("$v0")) == 9
+
+    def test_scheduled_injection_self_modification_is_tick_exact(self):
+        # Fault-injected self-modification through the platform's injection
+        # API: per-tick and block-stepped runs must retire the same
+        # instruction stream around the mutation.
+        from repro.circuits import build_rc_filter
+        from repro.core import abstract_circuit
+        from repro.sim import SquareWave
+
+        model = abstract_circuit(build_rc_filter(1), "out", 50e-9)
+        states = []
+        for block in (1, 64, 4096):
+            platform = SmartSystemPlatform(cpu_block_cycles=block)
+            platform.attach_analog_python(model, {"vin": SquareWave(period=40e-6)})
+            # Overwrite the firmware's threshold register load with a nop at
+            # an off-grid instant (not a multiple of any block size).
+            platform.schedule_injection(
+                13.37e-6, lambda p=platform: p.memory.poke(4, (0).to_bytes(4, "little"))
+            )
+            platform.run(50e-6)
+            states.append(
+                (
+                    platform.cpu.instruction_count,
+                    platform.cpu.pc,
+                    tuple(platform.cpu.registers[:32]),
+                    bytes(platform.memory._data),
+                )
+            )
+        assert states[0] == states[1] == states[2]
+
     def test_clear_invalidates_whole_cache(self):
         cpu = fresh_cpu("li $v0, 5\nhalt: beq $zero, $zero, halt\n")
         cpu.run_block(4)
