@@ -117,3 +117,18 @@ class BusError(PlatformError):
 
 class FaultError(ReproError):
     """A fault model or campaign specification is malformed or inapplicable."""
+
+
+class StoreError(ReproError):
+    """A campaign store is unusable: unwritable, malformed, or incompatible."""
+
+
+class CampaignInterrupted(ReproError):
+    """A batch run was deliberately cut short after a checkpoint commit.
+
+    Raised by the sweep engines when an ``interrupt_after`` budget is
+    exhausted — the crash-simulation hook used by the resume tests and the
+    CI resume-smoke job.  Already-committed results survive in the run
+    store; resuming the same spec against the same store completes the
+    remaining scenarios.
+    """

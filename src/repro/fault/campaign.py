@@ -38,6 +38,8 @@ import numpy as np
 
 from ..errors import FaultError
 from ..network.circuit import Circuit
+from ..store import RunStore
+from ..store import fingerprint as store_fingerprint
 from ..sweep.platform import (
     PlatformScenario,
     PlatformScenarioSpec,
@@ -99,6 +101,22 @@ class FaultScenario(PlatformScenario):
                 platform, self.at_time, np.random.default_rng(self.fault_seed)
             )
 
+    def store_key_extras(self) -> dict:
+        """Content-key material for the run store: the full fault spec.
+
+        The fault model's parameterization, its activation time and the
+        per-run fault seed all change what :meth:`prepare_platform` injects,
+        so they are part of the run's identity.  (Analog faults additionally
+        ride in ``params`` via :data:`FAULT_PARAM`; fingerprinting the model
+        here keys runs apart even when two campaigns reuse a fault *name*
+        for different parameterizations.)
+        """
+        return {
+            "fault": store_fingerprint(self.fault),
+            "at_time": self.at_time,
+            "fault_seed": self.fault_seed,
+        }
+
     def describe(self) -> str:
         base = super().describe()
         if self.fault is None:
@@ -124,6 +142,17 @@ class FaultableCircuitFactory:
         if _fault:
             self.faults[_fault].apply(circuit)
         return circuit
+
+    def store_fingerprint(self) -> list:
+        """Run-store key material: the base factory only.
+
+        The fault table is campaign-wide plumbing — which fault (if any) a
+        given build applies is keyed per run through :data:`FAULT_PARAM` in
+        the scenario params plus the scenario's fault extras (the full
+        fault parameterization).  Keying the whole table here would
+        needlessly re-execute golden runs whenever the universe changes.
+        """
+        return ["fault-factory", store_fingerprint(self.base)]
 
 
 @dataclass
@@ -210,6 +239,15 @@ class FaultCampaignRunner:
     count); ``nrmse_threshold`` is the ADC-trace divergence level above which
     a fault that left the software outcome untouched still counts as
     *trace-divergent* rather than *silent*.
+
+    ``store``/``resume`` make campaigns durable: every completed run (golden
+    and faulted alike) is committed to the content-addressed store as it
+    finishes, and a resumed campaign loads committed runs instead of
+    re-executing them — verdicts, coverage and reports of a resumed
+    campaign are bit-identical to an uninterrupted one's.
+    ``interrupt_after`` is the crash-simulation hook used by the resume
+    tests and the CI smoke job (see
+    :class:`~repro.sweep.platform.PlatformSweepRunner`).
     """
 
     def __init__(
@@ -225,6 +263,9 @@ class FaultCampaignRunner:
         cpu_block_cycles: int = 256,
         nrmse_threshold: float = 1e-3,
         cosim_options: "Mapping[str, int] | None" = None,
+        store: "RunStore | str | None" = None,
+        resume: bool = False,
+        interrupt_after: "int | None" = None,
     ) -> None:
         if nrmse_threshold <= 0.0:
             raise FaultError("the NRMSE divergence threshold must be positive")
@@ -239,6 +280,9 @@ class FaultCampaignRunner:
         self.cpu_block_cycles = int(cpu_block_cycles)
         self.nrmse_threshold = float(nrmse_threshold)
         self.cosim_options = cosim_options
+        self.store = store
+        self.resume = bool(resume)
+        self.interrupt_after = interrupt_after
 
     def run(self, spec: FaultCampaignSpec, duration: float) -> FaultCampaignResult:
         """Execute every run of ``spec`` for ``duration`` seconds each."""
@@ -268,6 +312,9 @@ class FaultCampaignRunner:
             cpu_block_cycles=self.cpu_block_cycles,
             cosim_options=self.cosim_options,
             capture_errors=True,
+            store=self.store,
+            resume=self.resume,
+            interrupt_after=self.interrupt_after,
         )
         sweep = runner.run(scenarios, duration, firmwares=spec.firmware_table())
         return FaultCampaignResult(
@@ -279,6 +326,7 @@ class FaultCampaignRunner:
             workers=sweep.workers,
             nrmse_threshold=self.nrmse_threshold,
             timings=dict(sweep.timings),
+            executed=sweep.executed,
         )
 
     @staticmethod

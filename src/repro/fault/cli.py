@@ -13,11 +13,20 @@ alive — at least one detected and at least one silent fault — so a broken
 detectability analysis fails the pipeline instead of printing garbage
 coverage numbers.
 
+``--store DIR`` makes the campaign durable: every completed run is
+committed to a content-addressed :class:`~repro.store.RunStore` as it
+finishes, and ``--resume`` loads committed runs instead of re-executing
+them — an interrupted campaign picks up where it left off with
+bit-identical verdicts.  ``--interrupt-after N`` simulates the crash (each
+worker stops after executing N runs, exit code 3), which is how the CI
+resume-smoke job exercises the store round-trip.
+
 Typical use::
 
     repro-faults --circuit RC1 --duration 2e-4 --workers 4 \\
         --markdown fault_report.md --csv fault_report.csv
     repro-faults --smoke
+    repro-faults --smoke --store campaign/   # interrupted? add --resume
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import argparse
 
 from ..circuits import benchmark_by_name
 from ..sim.sources import SquareWave
+from ..store import CampaignInterrupted, RunStore
 from ..sweep.platform import PlatformScenarioSpec
 from ..vp.firmware import threshold_monitor_source
 from .campaign import FaultCampaignRunner, FaultCampaignSpec
@@ -131,7 +141,32 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="CI-sized campaign with classification sanity assertions",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="campaign-store directory: commit every completed run atomically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="load runs already committed to --store instead of re-executing",
+    )
+    parser.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash simulation: stop each worker after executing N runs "
+        "(exit code 3; requires --store)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.resume and arguments.store is None:
+        parser.error("--resume needs --store to resume from")
+    if arguments.interrupt_after is not None and arguments.store is None:
+        parser.error("--interrupt-after without --store would lose all work")
+    if arguments.interrupt_after is not None and arguments.interrupt_after < 0:
+        parser.error("--interrupt-after must be non-negative")
 
     duration = 1.2e-4 if arguments.smoke else arguments.duration
     activation = arguments.at if arguments.at else [duration / 2.0]
@@ -169,6 +204,9 @@ def main(argv: "list[str] | None" = None) -> int:
         stimuli,
         workers=arguments.workers,
         nrmse_threshold=arguments.nrmse_threshold,
+        store=arguments.store,
+        resume=arguments.resume,
+        interrupt_after=arguments.interrupt_after,
     )
     total = len(spec)
     golden = len(spec.platform_scenarios())
@@ -176,10 +214,29 @@ def main(argv: "list[str] | None" = None) -> int:
         f"Running {total} platform runs ({total - golden} faulted) on "
         f"{bench.name} for {duration:g}s each..."
     )
-    result = runner.run(spec, duration)
+    try:
+        result = runner.run(spec, duration)
+    except CampaignInterrupted as interrupt:
+        # The store may be shared across campaigns (golden runs are reused),
+        # so report its record count as what it is — not as "N of this
+        # campaign's runs".
+        print(f"INTERRUPTED: {interrupt}")
+        print(
+            f"store {arguments.store} now holds "
+            f"{len(RunStore(arguments.store))} record(s); re-run with "
+            f"--store {arguments.store} --resume to finish"
+        )
+        return 3
 
+    if arguments.store:
+        loaded = result.n_runs - result.executed_count
+        print(
+            f"campaign store {arguments.store}: {result.executed_count} runs "
+            f"executed, {loaded} loaded (store holds "
+            f"{len(RunStore(arguments.store))} records)"
+        )
     counts = result.counts()
-    print(f"fault coverage: {100.0 * result.detected_fraction():.1f}% non-silent")
+    print(f"fault coverage: {result.coverage_text()} non-silent")
     for verdict in VERDICTS:
         print(f"  {verdict:18s} {counts[verdict]}")
     print(f"  equivalence classes: {len(result.collapse())}")

@@ -32,6 +32,7 @@ denser test set.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -130,6 +131,9 @@ class FaultCampaignResult:
     workers: int = 1
     nrmse_threshold: float = 1e-3
     timings: dict[str, float] = field(default_factory=dict)
+    #: Per-run execution flags: ``True`` for runs simulated by this campaign,
+    #: ``False`` for runs loaded from a campaign store (resume).
+    executed: "np.ndarray | None" = None
     _verdicts: "list[FaultVerdict] | None" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -149,6 +153,13 @@ class FaultCampaignResult:
     @property
     def n_faulted(self) -> int:
         return sum(1 for run in self.runs if not run.golden)
+
+    @property
+    def executed_count(self) -> int:
+        """Runs actually simulated (all of them without a resume store)."""
+        if self.executed is None:
+            return self.n_runs
+        return int(np.count_nonzero(self.executed))
 
     def fingerprints(self) -> list[tuple]:
         """Per-run deterministic outcomes, in run order (serial == parallel)."""
@@ -200,11 +211,23 @@ class FaultCampaignResult:
         return counts
 
     def detected_fraction(self) -> float:
-        """Fault coverage: the fraction of faulted runs that were non-silent."""
+        """Fault coverage: the fraction of faulted runs that were non-silent.
+
+        ``nan`` when the campaign has no faulted runs — coverage of an empty
+        universe is undefined, not zero.  Reports must render that case via
+        :meth:`coverage_text`, never by formatting the raw fraction.
+        """
         verdicts = self.verdicts()
         if not verdicts:
             return float("nan")
         return sum(1 for entry in verdicts if entry.detected) / len(verdicts)
+
+    def coverage_text(self) -> str:
+        """Human-readable fault coverage (``"n/a (0 faulted runs)"`` safe)."""
+        fraction = self.detected_fraction()
+        if math.isnan(fraction):
+            return "n/a (0 faulted runs)"
+        return f"{100.0 * fraction:.1f} %"
 
     def coverage_matrix(self) -> dict[str, dict[str, int]]:
         """Fault-kind × verdict matrix (rows in first-appearance order)."""
@@ -262,7 +285,7 @@ class FaultCampaignResult:
             f"(analog timestep {self.timestep:g} s)",
             f"- workers: {self.workers}",
             f"- trace-divergence threshold: NRMSE > {self.nrmse_threshold:g}",
-            f"- fault coverage (non-silent): {100.0 * self.detected_fraction():.1f} %",
+            f"- fault coverage (non-silent): {self.coverage_text()}",
             f"- equivalence classes after collapse: {len(collapse)}",
         ]
         for phase, seconds in self.timings.items():

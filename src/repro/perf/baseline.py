@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from ..errors import ReproError
+from ..store.atomic import atomic_write_text
 
 
 class PerfError(ReproError):
@@ -32,7 +33,10 @@ def best_of(function: Callable[[], object], repeats: int = 3) -> float:
     observation is the closest to the true cost.
     """
     if repeats < 1:
-        raise ValueError("repeats must be at least 1")
+        raise PerfError(
+            f"best_of needs at least one repeat to take a minimum over "
+            f"(got repeats={repeats})"
+        )
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
@@ -137,7 +141,10 @@ def compare_records(
             f"comparing different benchmarks: {baseline.name!r} vs {current.name!r}"
         )
     if not 0.0 <= tolerance < 1.0:
-        raise ValueError("tolerance must be in [0, 1)")
+        raise PerfError(
+            f"tolerance is the fraction of baseline performance a metric may "
+            f"lose and must be in [0, 1); got {tolerance!r}"
+        )
     regressions: list[Regression] = []
     for metric, base_value in baseline.metrics.items():
         if metric not in current.metrics:
@@ -174,18 +181,32 @@ class BaselineStore:
         return self.directory / f"{self.PREFIX}{name}.json"
 
     def save(self, record: BenchmarkRecord) -> Path:
-        """Write (or overwrite) the baseline for ``record.name``."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(record.name)
-        path.write_text(record.to_json() + "\n", encoding="utf-8")
-        return path
+        """Write (or overwrite) the baseline for ``record.name``.
+
+        Published atomically (write-temp-then-``os.replace``, the shared
+        :mod:`repro.store.atomic` primitive): a comparison racing a
+        re-record, or a crash mid-save, can never observe a torn baseline.
+        """
+        return atomic_write_text(
+            self.path_for(record.name), record.to_json() + "\n"
+        )
+
+    @staticmethod
+    def _load_path(path: Path) -> BenchmarkRecord:
+        """Parse one baseline file; errors name the offending file."""
+        try:
+            return BenchmarkRecord.from_json(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise PerfError(f"cannot read baseline file {path}: {exc}") from exc
+        except PerfError as exc:
+            raise PerfError(f"malformed baseline file {path}: {exc}") from exc
 
     def load(self, name: str) -> "BenchmarkRecord | None":
         """The last recorded baseline for ``name``, or ``None``."""
         path = self.path_for(name)
         if not path.exists():
             return None
-        return BenchmarkRecord.from_json(path.read_text(encoding="utf-8"))
+        return self._load_path(path)
 
     def load_all(self) -> dict[str, BenchmarkRecord]:
         """Every baseline in the directory, keyed by benchmark name."""
@@ -193,7 +214,7 @@ class BaselineStore:
         if not self.directory.exists():
             return records
         for path in sorted(self.directory.glob(f"{self.PREFIX}*.json")):
-            record = BenchmarkRecord.from_json(path.read_text(encoding="utf-8"))
+            record = self._load_path(path)
             records[record.name] = record
         return records
 

@@ -10,16 +10,69 @@ Baselines are wall-clock numbers of *this* machine — record and compare on
 the same host.  ``benchmarks/record.py`` is the in-repo wrapper that defaults
 the baseline directory to ``benchmarks/baselines/``; the installed
 ``repro-bench`` script defaults to ``./perf-baselines``.
+
+``--store DIR`` checkpoints the suite itself into a content-addressed
+:class:`~repro.store.RunStore` (one record per benchmark, keyed by
+benchmark × workload size × interpreter/machine identity) and ``--resume``
+skips benchmarks whose record is already committed — an interrupted long
+suite run finishes only the missing workloads.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform as _platform
+import sys
 
-from .baseline import BaselineStore
-from .suite import run_suite
+from ..store import RunStore
+from .baseline import BaselineStore, BenchmarkRecord
+from .suite import SUITE, run_suite
 
 DEFAULT_BASELINE_DIR = "perf-baselines"
+
+
+def _bench_store_inputs(name: str, smoke: bool) -> dict:
+    """The content key of one suite benchmark: what × at what size × where.
+
+    Wall-clock records are only meaningful on the host that produced them,
+    so the interpreter and machine identity are part of the key — resuming
+    on a different machine re-runs rather than reusing foreign numbers.
+    """
+    return {
+        "engine": "perf-suite",
+        "benchmark": name,
+        "smoke": bool(smoke),
+        "python": sys.version.split()[0],
+        "implementation": _platform.python_implementation(),
+        "machine": _platform.machine(),
+        # The hostname, not just the architecture: a store shared between
+        # two same-arch hosts must re-run, never reuse foreign wall clocks.
+        "host": _platform.node(),
+    }
+
+
+def _run_suite_through_store(
+    store: RunStore, smoke: bool, resume: bool
+) -> "tuple[list[BenchmarkRecord], int]":
+    """Run the suite with per-benchmark checkpoint/resume; returns
+    ``(records, loaded_count)``."""
+    records: list[BenchmarkRecord] = []
+    loaded = 0
+    for bench in SUITE:
+        name = bench.__name__.removeprefix("bench_")
+        inputs = _bench_store_inputs(name, smoke)
+        key = store.key(inputs)
+        if resume:
+            committed = store.load(key)
+            if committed is not None:
+                records.append(BenchmarkRecord.from_json(json.dumps(committed)))
+                loaded += 1
+                continue
+        record = bench(smoke)
+        store.commit(key, json.loads(record.to_json()), inputs=inputs)
+        records.append(record)
+    return records, loaded
 
 
 def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DIR) -> int:
@@ -51,11 +104,34 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
         action="store_true",
         help="exit non-zero when --compare finds regressions",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="checkpoint each benchmark's record into this run store",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip benchmarks already committed to --store (load their records)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.resume and arguments.store is None:
+        parser.error("--resume needs --store to resume from")
     store = BaselineStore(arguments.out)
 
     print(f"Running the perf suite ({'smoke' if arguments.smoke else 'full'} size)...")
-    records = run_suite(smoke=arguments.smoke)
+    if arguments.store is not None:
+        run_store = RunStore(arguments.store)
+        records, loaded = _run_suite_through_store(
+            run_store, arguments.smoke, arguments.resume
+        )
+        print(
+            f"  suite store {arguments.store}: {len(records) - loaded} "
+            f"benchmark(s) executed, {loaded} loaded"
+        )
+    else:
+        records = run_suite(smoke=arguments.smoke)
     for record in records:
         print(f"  {record.name}:")
         for metric, value in sorted(record.metrics.items()):

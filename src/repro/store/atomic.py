@@ -1,0 +1,76 @@
+"""Crash-safe file writes: temp file in the target directory + ``os.replace``.
+
+Every persistence path of the library goes through these helpers.  The
+contract is the classic atomic-publish recipe: the payload is written to a
+uniquely named temporary file *in the same directory* as the destination
+(same filesystem, so the final rename cannot degrade into a copy), flushed
+and fsynced, then moved over the destination with :func:`os.replace` — which
+POSIX guarantees to be atomic.  A reader therefore sees either the complete
+old file or the complete new file, never a torn write; a crash mid-write
+leaves at worst a ``.tmp`` orphan that is ignored by every loader and
+overwritten-around forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..errors import StoreError
+
+#: Suffix of the temporary files; loaders must never match it.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Atomically publish ``data`` at ``path`` (parents created as needed)."""
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb",
+            dir=path.parent,
+            prefix=f".{path.name}.",
+            suffix=TMP_SUFFIX,
+            delete=False,
+        )
+    except OSError as exc:
+        raise StoreError(f"cannot write to {path.parent}: {exc}") from exc
+    tmp_name = handle.name
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise StoreError(f"atomic write to {path} failed: {exc}") from exc
+    return path
+
+
+def atomic_write_text(path: "str | Path", text: str, encoding: str = "utf-8") -> Path:
+    """Atomically publish ``text`` at ``path``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: "str | Path", payload: object, indent: "int | None" = 2
+) -> Path:
+    """Atomically publish ``payload`` as sorted JSON at ``path``.
+
+    ``indent=None`` writes compact single-line JSON — the right choice for
+    records dominated by waveform arrays, where pretty-printing would put
+    every sample on its own line.
+    """
+    try:
+        separators = (",", ":") if indent is None else None
+        text = json.dumps(payload, indent=indent, sort_keys=True, separators=separators)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"payload for {path} is not JSON-serializable: {exc}") from exc
+    return atomic_write_text(path, text + "\n")

@@ -1,0 +1,173 @@
+"""Deterministic content-addressed keys for units of simulation work.
+
+A run store keys each unit of work (one sweep scenario, one platform run,
+one fault experiment) by the SHA-256 digest of a *canonical JSON* rendering
+of its full inputs.  Two ingredients make that digest trustworthy across
+processes and interpreter restarts:
+
+* :func:`canonical_json` — sorted keys, no whitespace, primitives only —
+  so the same payload always serializes to the same bytes (Python's JSON
+  float rendering is shortest-round-trip exact, so float-valued parameters
+  key reproducibly);
+* :func:`fingerprint` — a *stable* structural description of the
+  non-primitive inputs (circuit factories, stimulus callables, fault
+  models).  Memory addresses never leak into a fingerprint: dataclasses
+  fingerprint by field values, functions by module-qualified name (plus a
+  source digest for lambdas and local functions, whose qualnames alone
+  would collide), ``functools.partial`` recursively.
+
+The guarantees are only as strong as the objects being fingerprinted: two
+*different* module-level functions with the same qualified name (e.g. after
+an edit between runs) fingerprint identically.  The run-store layer records
+the full key payload next to every result so such collisions are auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import inspect
+import json
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import StoreError
+
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def fingerprint(obj: object, _seen: "frozenset[int]" = frozenset()) -> object:
+    """A JSON-serializable, address-free structural description of ``obj``.
+
+    Handles the object kinds that appear in simulation recipes: primitives,
+    numpy scalars/arrays (by byte digest), sequences, mappings, dataclass
+    instances (stimulus sources, fault models, factory wrappers),
+    ``functools.partial``, bound methods (instance state included), plain
+    functions (closure cells and default arguments included — two
+    factory-made lambdas capturing different values must key apart) and
+    arbitrary callables.  ``_seen`` breaks reference cycles (a recursive
+    closure capturing its own function).
+    """
+    if isinstance(obj, _PRIMITIVES):
+        return obj
+    if id(obj) in _seen:
+        return ["cycle"]
+    _seen = _seen | {id(obj)}
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        # Never through repr: numpy truncates ('...') and rounds, so two
+        # different arrays could share a fingerprint.  Digest the bytes.
+        data = np.ascontiguousarray(obj)
+        return [
+            "ndarray",
+            list(data.shape),
+            str(data.dtype),
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(item, _seen) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(fingerprint(item, _seen) for item in obj)]
+    if isinstance(obj, Mapping):
+        return [
+            "mapping",
+            [
+                [str(key), fingerprint(value, _seen)]
+                for key, value in sorted(obj.items())
+            ],
+        ]
+    if isinstance(obj, functools.partial):
+        return [
+            "partial",
+            fingerprint(obj.func, _seen),
+            [fingerprint(argument, _seen) for argument in obj.args],
+            [
+                [name, fingerprint(value, _seen)]
+                for name, value in sorted(obj.keywords.items())
+            ],
+        ]
+    # Objects may override their own key material — e.g. a factory wrapper
+    # whose incidental state (a campaign-wide fault table) must not key
+    # every run it builds.
+    custom = getattr(type(obj), "store_fingerprint", None)
+    if custom is not None and not isinstance(obj, type):
+        return obj.store_fingerprint()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return [
+            "instance",
+            cls.__module__,
+            cls.__qualname__,
+            [
+                [field.name, fingerprint(getattr(obj, field.name), _seen)]
+                for field in dataclasses.fields(obj)
+            ],
+        ]
+    if inspect.ismethod(obj):
+        # A bound method carries instance state: two benches' .build must
+        # key apart even though the underlying function is shared.
+        return [
+            "method",
+            fingerprint(obj.__self__, _seen),
+            fingerprint(obj.__func__, _seen),
+        ]
+    if inspect.isfunction(obj) or inspect.isbuiltin(obj):
+        entry = ["function", getattr(obj, "__module__", None), obj.__qualname__]
+        if "<lambda>" in obj.__qualname__ or "<locals>" in obj.__qualname__:
+            # Qualified names of lambdas/local functions are not unique;
+            # add a source digest so two different lambdas key apart.
+            try:
+                source = inspect.getsource(obj)
+                entry.append(hashlib.sha256(source.encode("utf-8")).hexdigest()[:16])
+            except (OSError, TypeError):
+                entry.append("unsourced")
+        # Captured state parameterizes behaviour just like arguments do:
+        # factory-made closures over different values, or edited default
+        # arguments, must not collide on name + source alone.
+        closure = getattr(obj, "__closure__", None) or ()
+        cells = []
+        for cell in closure:
+            try:
+                cells.append(fingerprint(cell.cell_contents, _seen))
+            except ValueError:  # an empty (not yet filled) cell
+                cells.append(["empty-cell"])
+        if cells:
+            entry.append(["closure", cells])
+        defaults = getattr(obj, "__defaults__", None)
+        if defaults:
+            entry.append(["defaults", fingerprint(list(defaults), _seen)])
+        kwdefaults = getattr(obj, "__kwdefaults__", None)
+        if kwdefaults:
+            entry.append(["kwdefaults", fingerprint(kwdefaults, _seen)])
+        return entry
+    if isinstance(obj, type):
+        return ["class", obj.__module__, obj.__qualname__]
+    # Arbitrary instance (a callable class without dataclass fields): use its
+    # repr when it is address-free, otherwise fall back to the class identity
+    # plus a fingerprint of its instance dict.
+    cls = type(obj)
+    text = repr(obj)
+    if " at 0x" not in text:
+        return ["object", cls.__module__, cls.__qualname__, text]
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return ["object", cls.__module__, cls.__qualname__, fingerprint(state, _seen)]
+    return ["object", cls.__module__, cls.__qualname__]
+
+
+def canonical_json(payload: object) -> str:
+    """The canonical (sorted, compact) JSON text of ``payload``."""
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"store key payload is not canonicalizable: {exc}") from exc
+
+
+def digest_key(payload: object) -> str:
+    """The SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

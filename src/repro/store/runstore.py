@@ -1,0 +1,185 @@
+"""The content-addressed, crash-safe result store behind checkpoint/resume.
+
+A :class:`RunStore` is a campaign directory holding one JSON file per
+completed unit of work, named by the digest of the unit's full inputs (see
+:mod:`repro.store.keys`)::
+
+    <campaign-dir>/
+        store.json            # format marker
+        runs/<sha256>.json    # {"format": 1, "key": ..., "inputs": ..., "record": ...}
+
+Properties the batch engines rely on:
+
+* **content addressing** — the digest covers everything that determines the
+  outcome (circuit factory, parameters, integration style, firmware source,
+  stimulus family, seed, fault spec, duration/timestep/method), so a hit is
+  a *semantic* hit: the stored record is the result the engine would have
+  recomputed bit-identically;
+* **atomic commits** — every file is published with
+  :func:`~repro.store.atomic.atomic_write_json`; killing a campaign at any
+  instant leaves the store with only whole records (plus at most ignorable
+  ``.tmp`` orphans);
+* **concurrent writers** — worker processes commit as they finish.  Distinct
+  units write distinct files; identical units write identical content; both
+  races are harmless under ``os.replace``;
+* **exact round-trip** — records are JSON with Python's shortest-round-trip
+  float rendering, so waveforms and metrics reload bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import StoreError
+from .atomic import atomic_write_json
+from .keys import digest_key
+
+#: Schema version written into the marker and every record.
+STORE_FORMAT = 1
+
+
+def _jsonable(value: object) -> object:
+    """Recursively convert numpy scalars/arrays so records serialize exactly."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class RunStore:
+    """Directory of content-addressed run records with atomic commits."""
+
+    MARKER = "store.json"
+    RUNS_DIR = "runs"
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self._check_marker()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunStore({str(self.directory)!r})"
+
+    # -- layout ------------------------------------------------------------------------
+    @property
+    def runs_directory(self) -> Path:
+        return self.directory / self.RUNS_DIR
+
+    def path_for(self, key: str) -> Path:
+        return self.runs_directory / f"{key}.json"
+
+    def _check_marker(self) -> None:
+        marker = self.directory / self.MARKER
+        if not marker.exists():
+            return
+        try:
+            payload = json.loads(marker.read_text(encoding="utf-8"))
+            found = int(payload["format"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise StoreError(f"malformed store marker {marker}: {exc}") from exc
+        if found != STORE_FORMAT:
+            raise StoreError(
+                f"{self.directory} is a format-{found} store; this version "
+                f"reads and writes format {STORE_FORMAT}"
+            )
+
+    def _ensure_marker(self) -> None:
+        marker = self.directory / self.MARKER
+        if not marker.exists():
+            atomic_write_json(marker, {"format": STORE_FORMAT})
+
+    # -- addressing --------------------------------------------------------------------
+    @staticmethod
+    def key(inputs: object) -> str:
+        """The content digest of a unit of work's canonical input payload."""
+        return digest_key(inputs)
+
+    # -- persistence -------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def commit(
+        self,
+        key: str,
+        record: Mapping,
+        inputs: object = None,
+    ) -> Path:
+        """Atomically publish ``record`` under ``key``.
+
+        ``inputs`` (the pre-digest key payload) is stored alongside the
+        record for auditability — a hit can always be traced back to the
+        exact inputs it was computed from.  Committing the same key twice
+        is allowed; the last write wins atomically.
+        """
+        self._ensure_marker()
+        payload = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "inputs": _jsonable(inputs),
+            "record": _jsonable(record),
+        }
+        # Compact JSON: records are dominated by waveform arrays, which
+        # pretty-printing would blow up to one line per sample.
+        return atomic_write_json(self.path_for(key), payload, indent=None)
+
+    def load(self, key: str) -> "dict | None":
+        """The record committed under ``key``, or ``None`` when absent.
+
+        A present-but-unreadable record raises :class:`StoreError` naming
+        the offending file — a store that lies about its contents must
+        never silently degrade into re-execution with half a cache.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read store record {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+            if int(payload["format"]) != STORE_FORMAT:
+                raise ValueError(f"record format {payload['format']}")
+            if payload["key"] != key:
+                raise ValueError(
+                    f"content digest mismatch (file claims {payload['key']!r})"
+                )
+            record = payload["record"]
+            if not isinstance(record, dict):
+                raise ValueError("record payload is not an object")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StoreError(f"malformed store record {path}: {exc}") from exc
+        return record
+
+    # -- enumeration -------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Digests of every committed record (sorted).
+
+        Temp orphans from interrupted writes are invisible by construction:
+        they are named ``.<name>.json.<random>.tmp`` and never match the
+        ``*.json`` glob.
+        """
+        if not self.runs_directory.exists():
+            return []
+        return sorted(path.stem for path in self.runs_directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+
+def as_run_store(store: "RunStore | str | Path | None") -> "RunStore | None":
+    """Coerce a user-supplied ``store=`` argument (path or store) to a store."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)

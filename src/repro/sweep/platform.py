@@ -36,10 +36,11 @@ import numpy as np
 
 from ..core.flow import AbstractionFlow
 from ..core.signalflow import SignalFlowModel
-from ..errors import ReproError, SimulationError
+from ..errors import CampaignInterrupted, ReproError, SimulationError
 from ..metrics.nrmse import nrmse
 from ..network.circuit import Circuit, canonical_quantity
 from ..sim.runners import resolve_steps
+from ..store import RunStore, as_run_store, fingerprint
 from ..vp.platform import ANALOG_STYLES, PlatformRunResult, SmartSystemPlatform
 from .runner import SweepError, map_scenario_chunks
 from .seeds import spawn_seeds
@@ -98,6 +99,17 @@ class PlatformScenario:
         saboteurs, schedule injections, or otherwise instrument the platform.
         Runs inside the worker process, so overrides must be picklable.
         """
+
+    def store_key_extras(self) -> dict:
+        """Extra content-key material contributed by scenario subclasses.
+
+        Anything that changes what :meth:`prepare_platform` does to the
+        platform MUST be reflected here, or a resumed campaign could load a
+        differently-instrumented run's result.  The base scenario
+        contributes nothing; the fault campaign's scenario adds the fault
+        model, activation time and fault seed.
+        """
+        return {}
 
 
 @dataclass
@@ -237,10 +249,62 @@ class PlatformSweepConfig:
     #: whole sweep.  Fault campaigns set this: an injected fault taking the
     #: CPU down is a *classification outcome* (crash-halt), not a sweep error.
     capture_errors: bool = False
+    #: Campaign-store directory; workers check it before simulating (when
+    #: ``resume`` is set) and commit each run's result as it completes.
+    store_dir: str | None = None
+    resume: bool = False
+    #: Crash simulation for resume testing: raise
+    #: :class:`~repro.errors.CampaignInterrupted` after this many scenarios
+    #: have been *executed* (loaded ones do not count) in one worker.
+    interrupt_after: int | None = None
 
     @property
     def output_quantity(self) -> str:
         return canonical_quantity(self.output)
+
+
+def _platform_store_inputs(
+    config: PlatformSweepConfig, scenario: PlatformScenario
+) -> dict:
+    """The full-input payload whose digest addresses one platform run.
+
+    Covers the circuit factory, analog parameters, integration style,
+    firmware *source* (names are presentation; the assembled image is what
+    runs), resolved stimulus family plus scenario seed, the execution grid
+    and any scenario-subclass extras (fault spec).  ``cpu_block_cycles`` is
+    deliberately excluded: block-stepped execution is guaranteed (and
+    tested) to produce bit-identical fingerprints and ADC traces at any
+    block size, so records are shared across block configurations.
+    ``cosim_options`` only key co-simulation scenarios, the one style they
+    affect.  Scenario position/label are excluded — identical work shares a
+    record no matter where it sits in the expansion.
+    """
+    return {
+        "engine": "platform-sweep",
+        "factory": fingerprint(config.factory),
+        "output": config.output,
+        "timestep": config.timestep,
+        "duration": config.duration,
+        "cpu_clock_hz": config.cpu_clock_hz,
+        "method": config.method,
+        "record_analog": config.record_analog,
+        "cosim_options": (
+            [[name, value] for name, value in sorted(config.cosim_options.items())]
+            if scenario.style == "cosim"
+            else []
+        ),
+        "firmware": config.firmwares[scenario.firmware],
+        "stimulus": fingerprint(config.stimuli[scenario.stimulus]),
+        "seed": scenario.seed,
+        "style": scenario.style,
+        # fingerprint() also canonicalizes numpy-typed parameter values
+        # (np.float32/np.int64 from array-built axes are not JSON types).
+        "params": [
+            [name, fingerprint(value)]
+            for name, value in sorted(scenario.params.items())
+        ],
+        "extras": scenario.store_key_extras(),
+    }
 
 
 def _resolve_stimuli(config: PlatformSweepConfig, scenario: PlatformScenario) -> Stimuli:
@@ -309,18 +373,63 @@ def _run_platform_scenario(
 def _run_platform_chunk(
     payload: tuple[PlatformSweepConfig, list[PlatformScenario]],
 ) -> dict:
-    """Run one contiguous chunk of platform scenarios (worker entry point)."""
+    """Run one contiguous chunk of platform scenarios (worker entry point).
+
+    With a campaign store configured, each scenario's content key is checked
+    before simulating: committed runs are loaded (``resume``), fresh runs
+    are committed atomically the moment they complete — killing the process
+    mid-chunk preserves every finished scenario.  ``interrupt_after``
+    simulates exactly that kill: the worker raises
+    :class:`~repro.errors.CampaignInterrupted` once its execution budget is
+    spent, *after* committing what it ran.
+    """
     config, scenarios = payload
+    store = RunStore(config.store_dir) if config.store_dir else None
     results: list[PlatformRunResult] = []
     elapsed: list[float] = []
+    executed: list[bool] = []
+    executed_count = 0
     # The abstracted model depends only on the analog parameters, so the
     # three abstracted styles of one analog point share one abstraction.
     model_memo: dict[tuple, SignalFlowModel] = dict(config.premade_models)
     for scenario in scenarios:
+        inputs = key = None
+        if store is not None:
+            inputs = _platform_store_inputs(config, scenario)
+            key = store.key(inputs)
+            if config.resume:
+                record = store.load(key)
+                if record is not None:
+                    stored = PlatformRunResult.from_payload(record["result"])
+                    # A crashed result is only a valid outcome under error
+                    # capture; without it the engine's contract is to raise,
+                    # so re-execute and let the real error surface.
+                    if stored.crashed is not None and not config.capture_errors:
+                        record = None
+                    else:
+                        results.append(stored)
+                        elapsed.append(float(record.get("elapsed", 0.0)))
+                        executed.append(False)
+                        continue
+        if (
+            config.interrupt_after is not None
+            and executed_count >= config.interrupt_after
+        ):
+            raise CampaignInterrupted(
+                f"worker interrupted after executing {executed_count} "
+                f"scenario(s); {len(store) if store is not None else 0} "
+                f"record(s) committed"
+            )
         result, wall = _run_platform_scenario(config, scenario, model_memo)
+        if store is not None:
+            store.commit(
+                key, {"result": result.to_payload(), "elapsed": wall}, inputs=inputs
+            )
         results.append(result)
         elapsed.append(wall)
-    return {"results": results, "elapsed": elapsed}
+        executed.append(True)
+        executed_count += 1
+    return {"results": results, "elapsed": elapsed, "executed": executed}
 
 
 class PlatformSweepRunner:
@@ -362,6 +471,19 @@ class PlatformSweepRunner:
         :class:`~repro.errors.ReproError` as a *crashed*
         :class:`~repro.vp.platform.PlatformRunResult` instead of aborting the
         sweep (see the fault campaign layer, :mod:`repro.fault`).
+    store:
+        A campaign directory (or :class:`~repro.store.RunStore`) into which
+        every completed run's outcome — fingerprint fields, metrics and the
+        optional ADC trace — is committed atomically as it finishes.
+    resume:
+        Load runs already committed to ``store`` instead of re-executing
+        them (requires ``store``).  A resumed sweep's fingerprints are
+        bit-identical to an uninterrupted run's.
+    interrupt_after:
+        Testing/CI hook simulating a crash: each worker raises
+        :class:`~repro.errors.CampaignInterrupted` after *executing* (not
+        loading) this many scenarios, leaving the store with exactly the
+        committed prefix.
     """
 
     def __init__(
@@ -379,6 +501,9 @@ class PlatformSweepRunner:
         cosim_options: "Mapping[str, int] | None" = None,
         premade_models: "Sequence[tuple[Mapping[str, float], SignalFlowModel]] | None" = None,
         capture_errors: bool = False,
+        store: "RunStore | str | None" = None,
+        resume: bool = False,
+        interrupt_after: "int | None" = None,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -386,6 +511,8 @@ class PlatformSweepRunner:
             raise ValueError("workers must be at least 1")
         if cpu_block_cycles < 1:
             raise ValueError("cpu_block_cycles must be at least 1")
+        if interrupt_after is not None and interrupt_after < 0:
+            raise ValueError("interrupt_after must be non-negative")
         self.factory = factory
         self.output = output
         self.stimuli = self._normalise_families(stimuli, families)
@@ -397,6 +524,13 @@ class PlatformSweepRunner:
         self.cpu_block_cycles = int(cpu_block_cycles)
         self.cosim_options = dict(cosim_options or {})
         self.capture_errors = bool(capture_errors)
+        self.store = as_run_store(store)
+        if resume and self.store is None:
+            raise SweepError("resume=True needs a store to resume from")
+        self.resume = bool(resume)
+        if interrupt_after is not None and self.store is None:
+            raise SweepError("interrupt_after without a store would lose all work")
+        self.interrupt_after = interrupt_after
         #: (params, model) pairs of already-abstracted analog points.
         self.premade_models = {
             tuple(sorted(params.items())): model
@@ -489,6 +623,9 @@ class PlatformSweepRunner:
             cosim_options=self.cosim_options,
             premade_models=self.premade_models,
             capture_errors=self.capture_errors,
+            store_dir=str(self.store.directory) if self.store is not None else None,
+            resume=self.resume,
+            interrupt_after=self.interrupt_after,
         )
 
         wall_start = _time.perf_counter()
@@ -505,9 +642,11 @@ class PlatformSweepRunner:
 
         results: list[PlatformRunResult] = []
         elapsed: list[float] = []
+        executed: list[bool] = []
         for chunk in chunk_results:
             results.extend(chunk["results"])
             elapsed.extend(chunk["elapsed"])
+            executed.extend(chunk["executed"])
         return PlatformSweepResult(
             scenarios=scenarios,
             results=results,
@@ -519,6 +658,7 @@ class PlatformSweepRunner:
                 "wall": _time.perf_counter() - wall_start,
                 "simulate": float(sum(elapsed)),
             },
+            executed=np.asarray(executed, dtype=bool),
         )
 
 
@@ -534,6 +674,9 @@ class PlatformSweepResult:
     timestep: float
     workers: int = 1
     timings: dict[str, float] = field(default_factory=dict)
+    #: Per-scenario execution flags: ``True`` for scenarios simulated by this
+    #: run, ``False`` for scenarios loaded from a campaign store (resume).
+    executed: "np.ndarray | None" = None
     #: Memoised scenario_nrmse() result; the traces are immutable after the
     #: run and the reports query the errors once per row.
     _nrmse_cache: "np.ndarray | None | bool" = field(
@@ -544,6 +687,13 @@ class PlatformSweepResult:
     @property
     def n_scenarios(self) -> int:
         return len(self.scenarios)
+
+    @property
+    def executed_count(self) -> int:
+        """Scenarios actually simulated (all of them without a resume store)."""
+        if self.executed is None:
+            return self.n_scenarios
+        return int(np.count_nonzero(self.executed))
 
     def styles(self) -> list[str]:
         """The integration styles present, in first-appearance order."""

@@ -36,11 +36,22 @@ class SweepResult:
     #: Output name → per-scenario NRMSE versus the reference AMS engine
     #: (present only when the run requested the reference comparison).
     nrmse: dict[str, np.ndarray] | None = None
+    #: Per-scenario execution flags: ``True`` for scenarios simulated by this
+    #: run, ``False`` for scenarios loaded from a campaign store (resume).
+    #: ``None`` on results built before the store layer existed.
+    executed: np.ndarray | None = None
 
     # -- shape queries -----------------------------------------------------------------
     @property
     def n_scenarios(self) -> int:
         return len(self.scenarios)
+
+    @property
+    def executed_count(self) -> int:
+        """Scenarios actually simulated (all of them without a resume store)."""
+        if self.executed is None:
+            return self.n_scenarios
+        return int(np.count_nonzero(self.executed))
 
     @property
     def n_steps(self) -> int:

@@ -25,6 +25,7 @@ baseline and as a fallback for models the vectorized renderer cannot batch.
 
 from __future__ import annotations
 
+import hashlib
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -36,11 +37,12 @@ from ..core.codegen.numpy_backend import NumpyGenerator, structure_signature
 from ..core.codegen.python_backend import compile_model_cached
 from ..core.flow import AbstractionFlow
 from ..core.signalflow import SignalFlowModel
-from ..errors import ReproError, SimulationError
+from ..errors import ReproError, SimulationError, StoreError
 from ..metrics.nrmse import compare_traces
 from ..network.circuit import Circuit
 from ..sim.runners import resolve_steps, run_reference_model
 from ..sim.trace import Trace
+from ..store import RunStore, as_run_store, fingerprint
 from .results import SweepResult
 from .spec import Scenario, SweepSpec
 
@@ -63,9 +65,18 @@ def map_scenario_chunks(
     chunk results in scenario order, or ``None`` when the pool cannot be
     built or the payload cannot be pickled — the caller then falls back to
     the serial path, which by construction produces identical results.
-    Real errors raised inside a worker propagate unchanged.
+
+    Payload picklability is probed *before* submission (``pickle.dumps`` of
+    the exact task list), so an unpicklable recipe is a clean serial
+    fallback while any exception raised by ``pool.map`` itself is a genuine
+    worker error (bad factory arguments, abstraction failures, a simulated
+    campaign interruption...) and propagates unchanged — a worker error
+    that merely *mentions* pickling in its message must not be misrouted
+    into a silent serial retry.
     """
     import multiprocessing
+    import pickle
+    import warnings
 
     workers = min(workers, len(scenarios))
     bounds = np.linspace(0, len(scenarios), workers + 1).astype(int)
@@ -74,6 +85,29 @@ def map_scenario_chunks(
         for start, stop in zip(bounds[:-1], bounds[1:])
         if stop > start
     ]
+    payloads = [(config, chunk) for chunk in chunks]
+
+    class _NullSink:
+        """Discards pickle output: the probe needs the errors, not the bytes."""
+
+        @staticmethod
+        def write(data: bytes) -> int:
+            return len(data)
+
+    try:
+        # Probe the submission path: exactly what the pool would serialize.
+        # Unpicklable objects raise PicklingError (lambdas), AttributeError
+        # (local functions) or TypeError (unpicklable C objects).  One extra
+        # serialization pass on startup buys deterministic error routing —
+        # any exception out of pool.map below is then a *worker* error.
+        pickle.Pickler(_NullSink()).dump(payloads)
+    except (pickle.PicklingError, AttributeError, TypeError) as error:
+        warnings.warn(
+            f"sweep payload is not picklable, running serially ({error})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
     try:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
@@ -82,32 +116,14 @@ def map_scenario_chunks(
         pool = context.Pool(processes=len(chunks))
     except (OSError, ValueError, AttributeError, ImportError) as error:
         # The *pool* could not be built (no fork, fd limits...): fall back.
-        import warnings
-
         warnings.warn(
             f"sweep falling back to serial execution ({error})",
             RuntimeWarning,
             stacklevel=3,
         )
         return None
-    try:
-        with pool:
-            return pool.map(worker, [(config, chunk) for chunk in chunks])
-    except Exception as error:
-        # Unpicklable payloads are an execution-strategy problem: fall
-        # back.  Anything else is a real error from inside a worker (bad
-        # factory arguments, abstraction failures...) and must surface
-        # immediately instead of being retried serially.
-        if "pickle" in type(error).__name__.lower() or "pickle" in str(error).lower():
-            import warnings
-
-            warnings.warn(
-                f"sweep payload is not picklable, running serially ({error})",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
-        raise
+    with pool:
+        return pool.map(worker, payloads)
 
 
 @dataclass
@@ -122,6 +138,43 @@ class SweepConfig:
     method: str = "backward_euler"
     backend: str = "numpy"
     name: str | None = None
+    #: Campaign-store directory; workers check it before simulating (when
+    #: ``resume`` is set) and commit each scenario's rows as they complete.
+    store_dir: str | None = None
+    resume: bool = False
+
+
+def _scenario_store_inputs(config: SweepConfig, scenario: Scenario) -> dict:
+    """The full-input payload whose digest addresses one sweep scenario.
+
+    Covers everything that determines the scenario's waveforms: the circuit
+    factory identity, its parameters, the recorded outputs, the execution
+    grid (duration/timestep), the discretisation method, the backend and the
+    resolved stimulus set.  Scenario position/label are deliberately
+    excluded — identical work shares a record no matter where it sits in
+    the expansion.
+    """
+    return {
+        "engine": "sweep",
+        "factory": fingerprint(config.factory),
+        "outputs": list(config.outputs),
+        "timestep": config.timestep,
+        "duration": config.duration,
+        "method": config.method,
+        "backend": config.backend,
+        # fingerprint() also canonicalizes numpy-typed parameter values
+        # (np.float32/np.int64 from array-built axes are not JSON types).
+        "params": [
+            [name, fingerprint(value)]
+            for name, value in sorted(scenario.params.items())
+        ],
+        "stimuli": fingerprint(dict(_scenario_stimuli(config, scenario))),
+    }
+
+
+def _signature_digest(signature: tuple) -> str:
+    """A short stable digest of a structure signature (store-record form)."""
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()[:16]
 
 
 def _abstract_scenario(config: SweepConfig, scenario: Scenario) -> SignalFlowModel:
@@ -220,17 +273,93 @@ def _simulate_scalar(
     return {name: row.reshape(1, steps) for name, row in rows.items()}
 
 
+def _commit_scenario(
+    store: RunStore,
+    key: str,
+    inputs: dict,
+    rows: "dict[str, np.ndarray]",
+    steps: int,
+    signature: tuple,
+) -> None:
+    """Persist one completed scenario's waveform rows (atomic publish)."""
+    store.commit(
+        key,
+        {
+            "steps": steps,
+            "signature": _signature_digest(signature),
+            # JSON objects are written key-sorted; the model's output order
+            # must survive explicitly or a fully-resumed run would assemble
+            # its ensemble in a different column order than a fresh one.
+            "order": list(rows),
+            "outputs": {name: row for name, row in rows.items()},
+        },
+        inputs=inputs,
+    )
+
+
+def _load_scenario_rows(
+    record: dict,
+    output_names: "list[str]",
+    steps: int,
+    store: RunStore,
+    key: str,
+) -> "dict[str, np.ndarray]":
+    """Reconstruct a stored scenario's rows, validating shape and coverage."""
+    rows: dict[str, np.ndarray] = {}
+    stored = record.get("outputs")
+    if not isinstance(stored, dict):
+        raise StoreError(f"store record {store.path_for(key)} has no output rows")
+    for name in output_names:
+        if name not in stored:
+            raise StoreError(
+                f"store record {store.path_for(key)} lacks output {name!r} "
+                f"(has {sorted(stored)})"
+            )
+        row = np.asarray(stored[name], dtype=float)
+        if row.shape != (steps,):
+            raise StoreError(
+                f"store record {store.path_for(key)} holds {row.shape} samples "
+                f"for output {name!r}, expected ({steps},)"
+            )
+        rows[name] = row
+    return rows
+
+
 def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
     """Abstract, group and simulate one contiguous chunk of scenarios.
 
     Module-level so that :mod:`multiprocessing` can import it in workers; the
     serial path calls it directly with the whole scenario list.
+
+    With a campaign store configured, scenarios whose content key is already
+    committed are loaded instead of re-executed (``resume``), and every
+    freshly simulated scenario is committed atomically the moment its group
+    finishes — killing the process mid-chunk preserves all completed work.
     """
     config, scenarios = payload
     timings = {"abstract": 0.0, "simulate": 0.0}
 
+    store = RunStore(config.store_dir) if config.store_dir else None
+    keys: list[str | None] = [None] * len(scenarios)
+    inputs: list[dict | None] = [None] * len(scenarios)
+    loaded: dict[int, dict] = {}
+    if store is not None:
+        for position, scenario in enumerate(scenarios):
+            inputs[position] = _scenario_store_inputs(config, scenario)
+            keys[position] = store.key(inputs[position])
+            if config.resume:
+                record = store.load(keys[position])
+                if record is not None:
+                    loaded[position] = record
+    pending = [
+        position for position in range(len(scenarios)) if position not in loaded
+    ]
+
     start = _time.perf_counter()
-    models = [_abstract_scenario(config, scenario) for scenario in scenarios]
+    models = {
+        position: _abstract_scenario(config, scenarios[position])
+        for position in pending
+    }
     timings["abstract"] = _time.perf_counter() - start
 
     try:
@@ -238,15 +367,23 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
     except SimulationError as exc:
         raise SweepError(str(exc)) from exc
 
-    output_names = list(models[0].outputs)
+    if pending:
+        output_names = list(models[pending[0]].outputs)
+    else:
+        first = loaded[min(loaded)]
+        output_names = list(first.get("order") or first["outputs"])
     outputs = {name: np.zeros((len(scenarios), steps)) for name in output_names}
+    signatures: set = set()
 
     start = _time.perf_counter()
     if config.backend == "numpy":
         groups: dict[tuple, list[int]] = {}
-        for position, model in enumerate(models):
-            groups.setdefault(structure_signature(model), []).append(position)
-        for positions in groups.values():
+        for position in pending:
+            groups.setdefault(structure_signature(models[position]), []).append(
+                position
+            )
+        for signature, positions in groups.items():
+            signatures.add(_signature_digest(signature))
             matrices = _simulate_batch(
                 config,
                 [scenarios[i] for i in positions],
@@ -255,23 +392,55 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
             )
             for name, matrix in matrices.items():
                 outputs[name][positions, :] = matrix
+            if store is not None:
+                for row, position in enumerate(positions):
+                    _commit_scenario(
+                        store,
+                        keys[position],
+                        inputs[position],
+                        {name: matrices[name][row] for name in output_names},
+                        steps,
+                        signature,
+                    )
     elif config.backend == "python":
-        for position, (scenario, model) in enumerate(zip(scenarios, models)):
-            rows = _simulate_scalar(config, scenario, model, steps)
+        for position in pending:
+            signature = structure_signature(models[position])
+            signatures.add(_signature_digest(signature))
+            rows = _simulate_scalar(
+                config, scenarios[position], models[position], steps
+            )
             for name, row in rows.items():
                 outputs[name][position, :] = row
+            if store is not None:
+                _commit_scenario(
+                    store,
+                    keys[position],
+                    inputs[position],
+                    {name: rows[name][0] for name in output_names},
+                    steps,
+                    signature,
+                )
     else:
         raise SweepError(
             f"unknown sweep backend {config.backend!r}; use 'numpy' or 'python'"
         )
     timings["simulate"] = _time.perf_counter() - start
 
+    for position, record in loaded.items():
+        rows = _load_scenario_rows(record, output_names, steps, store, keys[position])
+        for name, row in rows.items():
+            outputs[name][position, :] = row
+        signature_digest = record.get("signature")
+        if signature_digest:
+            signatures.add(signature_digest)
+
     return {
         "outputs": outputs,
         "steps": steps,
-        "signatures": {structure_signature(model) for model in models},
+        "signatures": signatures,
         "timings": timings,
         "cache": cache_info(),
+        "executed": [position in models for position in range(len(scenarios))],
     }
 
 
@@ -300,6 +469,14 @@ class SweepRunner:
         Number of ``multiprocessing`` workers; ``1`` runs serially.  When a
         pool cannot be used (unpicklable payload, missing ``fork``), the
         runner falls back to the serial path and records it in the result.
+    store:
+        A campaign directory (or :class:`~repro.store.RunStore`) into which
+        every completed scenario's waveforms are committed atomically as
+        they are produced.
+    resume:
+        Load scenarios already committed to ``store`` instead of
+        re-executing them (requires ``store``).  Resumed ensembles are
+        bit-identical to uninterrupted runs.
     """
 
     def __init__(
@@ -312,6 +489,8 @@ class SweepRunner:
         backend: str = "numpy",
         workers: int = 1,
         name: str | None = None,
+        store: "RunStore | str | None" = None,
+        resume: bool = False,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -329,6 +508,10 @@ class SweepRunner:
         self.backend = backend
         self.workers = int(workers)
         self.name = name
+        self.store = as_run_store(store)
+        if resume and self.store is None:
+            raise SweepError("resume=True needs a store to resume from")
+        self.resume = bool(resume)
 
     # -- execution ---------------------------------------------------------------------
     def run(
@@ -357,6 +540,8 @@ class SweepRunner:
             method=self.method,
             backend=self.backend,
             name=self.name,
+            store_dir=str(self.store.directory) if self.store is not None else None,
+            resume=self.resume,
         )
 
         wall_start = _time.perf_counter()
@@ -384,8 +569,10 @@ class SweepRunner:
         timings["wall"] = _time.perf_counter() - wall_start
 
         signatures: set = set()
+        executed: list[bool] = []
         for chunk in chunk_results:
             signatures |= chunk["signatures"]
+            executed.extend(chunk["executed"])
         result = SweepResult(
             scenarios=scenarios,
             times=times,
@@ -394,6 +581,7 @@ class SweepRunner:
             workers=workers_used,
             timings=timings,
             structure_groups=len(signatures),
+            executed=np.asarray(executed, dtype=bool),
         )
         if reference:
             result.nrmse = self._reference_nrmse(config, result)

@@ -17,6 +17,7 @@ analog integration style evaluated in Table III:
 
 from __future__ import annotations
 
+import dataclasses
 from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -94,6 +95,27 @@ class PlatformRunResult:
             self.crashed,
             self.analog_style,
         )
+
+    def to_payload(self) -> dict:
+        """A JSON-serializable rendering that round-trips bit-identically.
+
+        Every field is a Python primitive (the analog trace is a list of
+        floats, which JSON renders shortest-round-trip exact), so a result
+        committed to a :class:`~repro.store.RunStore` and loaded back
+        compares equal — same fingerprint, same trace bits.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PlatformRunResult":
+        """Rebuild a result from :meth:`to_payload` output (store records)."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise PlatformError(
+                f"platform run record carries unknown fields {unknown}"
+            )
+        return cls(**{name: payload[name] for name in payload})
 
 
 class _CpuBlockDriver(Module):

@@ -157,6 +157,7 @@ class TestExamples:
             "codegen_tour.py",
             "sweep_tour.py",
             "platform_sweep_tour.py",
+            "resume_tour.py",
         ],
     )
     def test_example_defines_main(self, script):

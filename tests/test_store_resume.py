@@ -1,0 +1,302 @@
+"""Resume correctness of the platform-scale engines (the PR's acceptance bar).
+
+A campaign interrupted mid-chunk (simulated with ``interrupt_after``, which
+raises :class:`~repro.errors.CampaignInterrupted` after N committed
+executions per worker) and resumed from the same store must reproduce the
+uninterrupted run's outcome fingerprints and reports bit-identically while
+re-executing *only* the unfinished scenarios — asserted through the
+per-scenario execution counters, for both
+:class:`~repro.sweep.platform.PlatformSweepRunner` and
+:class:`~repro.fault.campaign.FaultCampaignRunner`, serial and
+multiprocess.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import rc_benchmark
+from repro.errors import CampaignInterrupted
+from repro.fault import (
+    AdcStuckBitFault,
+    FaultCampaignRunner,
+    FaultCampaignSpec,
+    MemoryBitFlipFault,
+    ParameterDriftFault,
+    UartCorruptionFault,
+)
+from repro.sim import SquareWave
+from repro.store import RunStore
+from repro.sweep import GridSpec, PlatformScenarioSpec, PlatformSweepRunner, SweepError
+from repro.vp import threshold_monitor_source
+
+TIMESTEP = 50e-9
+DURATION = 1e-4
+CAMPAIGN_DURATION = 1.2e-4
+ACTIVATION = 6e-5
+WAVE = {"vin": SquareWave(period=4e-5)}
+FIRMWARES = {"threshold": threshold_monitor_source(500)}
+BENCH = rc_benchmark(1)
+
+
+def platform_runner(**kwargs) -> PlatformSweepRunner:
+    return PlatformSweepRunner(
+        BENCH.build, "out", WAVE, timestep=TIMESTEP, **kwargs
+    )
+
+
+def platform_spec(styles=("python", "de")) -> PlatformScenarioSpec:
+    return PlatformScenarioSpec(
+        parameters=GridSpec(axes={"resistance": [4e3, 5e3]}),
+        styles=styles,
+        firmwares=FIRMWARES,
+    )
+
+
+def campaign_runner(**kwargs) -> FaultCampaignRunner:
+    return FaultCampaignRunner(
+        BENCH.build, "out", WAVE, timestep=TIMESTEP, **kwargs
+    )
+
+
+def campaign_spec() -> FaultCampaignSpec:
+    return FaultCampaignSpec(
+        faults=[
+            ParameterDriftFault("r1", 2.0),
+            AdcStuckBitFault(bit=9, stuck_at=1),
+            MemoryBitFlipFault(bit=0),
+            UartCorruptionFault(0x20),
+        ],
+        activation_times=(ACTIVATION,),
+        scenarios=PlatformScenarioSpec(firmwares=FIRMWARES),
+        seed=3,
+    )
+
+
+def deterministic_markdown(report: str) -> str:
+    """A campaign report minus its wall-clock provenance lines.
+
+    Wall-clock timings (and the worker count, which is execution topology,
+    not outcome) can never be bit-stable between two executions; everything
+    else — verdicts, coverage, collapse, per-run rows — must be.
+    """
+    return "\n".join(
+        line
+        for line in report.splitlines()
+        if not line.startswith(("- wall:", "- simulate:", "- workers:"))
+    )
+
+
+class TestPlatformSweepResume:
+    def test_interrupt_commits_a_prefix_then_resume_completes(self, tmp_path):
+        spec = platform_spec()
+        baseline = platform_runner().run(spec, DURATION)
+
+        with pytest.raises(CampaignInterrupted):
+            platform_runner(store=tmp_path, interrupt_after=1).run(spec, DURATION)
+        committed = len(RunStore(tmp_path))
+        assert 1 <= committed < len(spec)
+
+        resumed = platform_runner(store=tmp_path, resume=True).run(spec, DURATION)
+        assert resumed.executed_count == len(spec) - committed
+        assert resumed.fingerprints() == baseline.fingerprints()
+        for ours, theirs in zip(resumed.results, baseline.results):
+            assert ours.analog_trace == theirs.analog_trace
+        assert len(RunStore(tmp_path)) == len(spec)
+
+    def test_multiprocess_interrupt_and_resume(self, tmp_path):
+        spec = platform_spec()
+        baseline = platform_runner().run(spec, DURATION)
+
+        with pytest.raises(CampaignInterrupted):
+            platform_runner(store=tmp_path, interrupt_after=1, workers=2).run(
+                spec, DURATION
+            )
+        committed = len(RunStore(tmp_path))
+        assert committed >= 1
+
+        resumed = platform_runner(store=tmp_path, resume=True, workers=2).run(
+            spec, DURATION
+        )
+        assert resumed.executed_count == len(spec) - committed
+        assert resumed.fingerprints() == baseline.fingerprints()
+
+    def test_fully_stored_sweep_executes_nothing(self, tmp_path):
+        spec = platform_spec(styles=("python",))
+        first = platform_runner(store=tmp_path).run(spec, DURATION)
+        assert first.executed.all()
+        again = platform_runner(store=tmp_path, resume=True).run(spec, DURATION)
+        assert again.executed_count == 0
+        assert again.fingerprints() == first.fingerprints()
+
+    def test_records_are_shared_across_block_sizes(self, tmp_path):
+        # Block-stepped execution is bit-identical at any block size (the
+        # PR-3 guarantee), so cpu_block_cycles is deliberately not part of
+        # the content key: a store filled at 256 serves a resume at 1.
+        spec = platform_spec(styles=("python",))
+        platform_runner(store=tmp_path, cpu_block_cycles=256).run(spec, DURATION)
+        per_tick = platform_runner(
+            store=tmp_path, resume=True, cpu_block_cycles=1
+        ).run(spec, DURATION)
+        assert per_tick.executed_count == 0
+
+    def test_store_key_separates_styles_firmware_and_duration(self, tmp_path):
+        spec = platform_spec(styles=("python",))
+        platform_runner(store=tmp_path).run(spec, DURATION)
+        stored = len(RunStore(tmp_path))
+        other_style = platform_runner(store=tmp_path, resume=True).run(
+            platform_spec(styles=("de",)), DURATION
+        )
+        assert other_style.executed_count == len(other_style.scenarios)
+        longer = platform_runner(store=tmp_path, resume=True).run(
+            spec, 2 * DURATION
+        )
+        assert longer.executed_count == len(longer.scenarios)
+        assert len(RunStore(tmp_path)) == stored + other_style.executed_count + (
+            longer.executed_count
+        )
+
+    def test_crashed_records_do_not_serve_a_no_capture_resume(self, tmp_path):
+        # A crashed outcome is only meaningful under capture_errors=True;
+        # resuming without error capture must re-execute the scenario so
+        # the real error surfaces, not smuggle a crashed result through.
+        import json
+
+        spec = platform_spec(styles=("python",))
+        platform_runner(store=tmp_path).run(spec, DURATION)
+        store = RunStore(tmp_path)
+        victim = store.path_for(store.keys()[0])
+        payload = json.loads(victim.read_text())
+        payload["record"]["result"]["crashed"] = "CpuFault: staged"
+        victim.write_text(json.dumps(payload), encoding="utf-8")
+        resumed = platform_runner(store=tmp_path, resume=True).run(spec, DURATION)
+        assert resumed.executed_count == 1
+        assert all(result.crashed is None for result in resumed.results)
+
+    def test_resume_and_interrupt_need_a_store(self):
+        with pytest.raises(SweepError, match="resume"):
+            platform_runner(resume=True)
+        with pytest.raises(SweepError, match="interrupt_after"):
+            platform_runner(interrupt_after=1)
+
+
+class TestFaultCampaignResume:
+    def test_interrupted_multiprocess_campaign_resumes_bit_identically(
+        self, tmp_path
+    ):
+        spec = campaign_spec()
+        baseline = campaign_runner(workers=2).run(spec, CAMPAIGN_DURATION)
+
+        with pytest.raises(CampaignInterrupted):
+            campaign_runner(store=tmp_path, interrupt_after=1, workers=2).run(
+                spec, CAMPAIGN_DURATION
+            )
+        committed = len(RunStore(tmp_path))
+        assert 1 <= committed < len(spec)
+
+        resumed = campaign_runner(store=tmp_path, resume=True, workers=2).run(
+            spec, CAMPAIGN_DURATION
+        )
+        # Only the unfinished runs were re-executed...
+        assert resumed.executed_count == len(spec) - committed
+        # ...and the outcome is indistinguishable from the uninterrupted run:
+        assert resumed.fingerprints() == baseline.fingerprints()
+        assert resumed.to_csv() == baseline.to_csv()
+        assert deterministic_markdown(resumed.to_markdown()) == (
+            deterministic_markdown(baseline.to_markdown())
+        )
+
+    def test_serial_interrupt_and_resume(self, tmp_path):
+        spec = campaign_spec()
+        baseline = campaign_runner().run(spec, CAMPAIGN_DURATION)
+        with pytest.raises(CampaignInterrupted):
+            campaign_runner(store=tmp_path, interrupt_after=2).run(
+                spec, CAMPAIGN_DURATION
+            )
+        committed = len(RunStore(tmp_path))
+        assert committed == 2
+        resumed = campaign_runner(store=tmp_path, resume=True).run(
+            spec, CAMPAIGN_DURATION
+        )
+        assert resumed.executed_count == len(spec) - committed
+        assert resumed.fingerprints() == baseline.fingerprints()
+        assert resumed.to_csv() == baseline.to_csv()
+
+    def test_loaded_golden_runs_still_anchor_the_verdicts(self, tmp_path):
+        # Golden runs expand first, so an early interrupt commits exactly
+        # them; the resumed campaign classifies faulted runs against golden
+        # results that came from the store.
+        spec = campaign_spec()
+        golden_count = len(spec.platform_scenarios())
+        with pytest.raises(CampaignInterrupted):
+            campaign_runner(store=tmp_path, interrupt_after=golden_count).run(
+                spec, CAMPAIGN_DURATION
+            )
+        assert len(RunStore(tmp_path)) == golden_count
+        resumed = campaign_runner(store=tmp_path, resume=True).run(
+            spec, CAMPAIGN_DURATION
+        )
+        assert not resumed.executed[:golden_count].any()
+        assert resumed.executed[golden_count:].all()
+        assert resumed.verdicts()  # classification works on loaded goldens
+
+    def test_fault_parameterization_is_part_of_the_key(self, tmp_path):
+        base = FaultCampaignSpec(
+            faults=[ParameterDriftFault("r1", 2.0)],
+            activation_times=(ACTIVATION,),
+            scenarios=PlatformScenarioSpec(firmwares=FIRMWARES),
+        )
+        campaign_runner(store=tmp_path).run(base, CAMPAIGN_DURATION)
+        # Same fault *name*, different drift: must not hit the old records.
+        drifted = FaultCampaignSpec(
+            faults=[ParameterDriftFault("r1", 3.0)],
+            activation_times=(ACTIVATION,),
+            scenarios=PlatformScenarioSpec(firmwares=FIRMWARES),
+        )
+        resumed = campaign_runner(store=tmp_path, resume=True).run(
+            drifted, CAMPAIGN_DURATION
+        )
+        # The golden run is shared; the faulted run re-executes.
+        assert resumed.executed_count == 1
+        assert resumed.executed[-1]
+
+    def test_activation_time_is_part_of_the_key(self, tmp_path):
+        def spec_at(when: float) -> FaultCampaignSpec:
+            return FaultCampaignSpec(
+                faults=[AdcStuckBitFault(bit=9, stuck_at=1)],
+                activation_times=(when,),
+                scenarios=PlatformScenarioSpec(firmwares=FIRMWARES),
+            )
+
+        campaign_runner(store=tmp_path).run(spec_at(ACTIVATION), CAMPAIGN_DURATION)
+        resumed = campaign_runner(store=tmp_path, resume=True).run(
+            spec_at(ACTIVATION / 2), CAMPAIGN_DURATION
+        )
+        assert resumed.executed_count == 1
+
+
+class TestEmptyCoverageRendering:
+    def test_zero_faulted_runs_render_na_not_nan(self):
+        from repro.fault.report import FaultCampaignResult
+        from repro.fault.campaign import FaultRun
+        from repro.sweep import PlatformScenarioSpec
+
+        scenario = PlatformScenarioSpec(firmwares=FIRMWARES).expand()[0]
+        golden = platform_runner().run([scenario], DURATION, firmwares=FIRMWARES)
+        result = FaultCampaignResult(
+            runs=[FaultRun(0, None, 0.0, scenario, 0)],
+            results=golden.results,
+            elapsed=golden.elapsed,
+            duration=DURATION,
+            timestep=TIMESTEP,
+        )
+        assert np.isnan(result.detected_fraction())
+        assert result.coverage_text() == "n/a (0 faulted runs)"
+        report = result.to_markdown()
+        assert "nan" not in report
+        assert "n/a (0 faulted runs)" in report
+        # The CSV stays well-formed: a single header row, no dangling commas.
+        csv = result.to_csv()
+        assert csv.splitlines()[0].startswith("#,fault,")
+        assert len(csv.splitlines()) == 1
