@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable
 
+from ...obs.tracer import TRACER
 from .base import GeneratedCode
 
 _LOCK = threading.Lock()
@@ -50,18 +52,27 @@ def compile_cached(
         if cls is not None:
             _HITS += 1
             _CACHE.move_to_end(key)
+            TRACER.add("codegen.cache_hits")
             return cls
+    start = time.perf_counter()
     compiled = compiler(generated)
+    if TRACER.enabled:
+        TRACER.complete(
+            "codegen.compile", start, time.perf_counter() - start, "codegen",
+            language=generated.language,
+        )
     with _LOCK:
         existing = _CACHE.get(key)
         if existing is not None:
             _HITS += 1
             _CACHE.move_to_end(key)
+            TRACER.add("codegen.cache_hits")
             return existing
         _MISSES += 1
         _CACHE[key] = compiled
         while len(_CACHE) > MAX_ENTRIES:
             _CACHE.popitem(last=False)
+        TRACER.add("codegen.compiles")
     return compiled
 
 

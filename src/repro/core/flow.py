@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import AbstractionError
+from ..obs.tracer import TRACER
 from ..network.circuit import Circuit
 from ..vams.ast import VamsModule
 from ..vams.classify import classify_module
@@ -138,6 +139,20 @@ class AbstractionFlow:
         )
         timings["solve"] = time.perf_counter() - start
 
+        if TRACER.enabled:
+            TRACER.add("flow.abstractions", 1.0)
+            end = time.perf_counter()
+            offset = sum(timings.values())
+            for step in ("acquisition", "enrichment", "assemble", "solve"):
+                duration = timings[step]
+                # Phases were timed back-to-back ending (approximately) now,
+                # so their start times reconstruct from the accumulated tail.
+                TRACER.complete(
+                    f"flow.{step}", end - offset, duration, "flow",
+                    model=name or getattr(model, "name", None) or "<source>",
+                )
+                offset -= duration
+
         return AbstractionReport(
             model=signal_flow,
             acquisition=acquisition,
@@ -175,6 +190,12 @@ class AbstractionFlow:
             start = time.perf_counter()
             converted = self.convert(module)
             conversion_time = time.perf_counter() - start
+            if TRACER.enabled:
+                TRACER.add("flow.conversions", 1.0)
+                TRACER.complete(
+                    "flow.conversion", start, conversion_time, "flow",
+                    model=name or module.name,
+                )
             return AbstractionReport(
                 model=converted, timings={"conversion": conversion_time}
             )

@@ -266,6 +266,8 @@ class FaultCampaignRunner:
         store: "RunStore | str | None" = None,
         resume: bool = False,
         interrupt_after: "int | None" = None,
+        trace: "bool | None" = None,
+        progress: "bool | None" = None,
     ) -> None:
         if nrmse_threshold <= 0.0:
             raise FaultError("the NRMSE divergence threshold must be positive")
@@ -283,6 +285,8 @@ class FaultCampaignRunner:
         self.store = store
         self.resume = bool(resume)
         self.interrupt_after = interrupt_after
+        self.trace = trace
+        self.progress = progress
 
     def run(self, spec: FaultCampaignSpec, duration: float) -> FaultCampaignResult:
         """Execute every run of ``spec`` for ``duration`` seconds each."""
@@ -315,6 +319,8 @@ class FaultCampaignRunner:
             store=self.store,
             resume=self.resume,
             interrupt_after=self.interrupt_after,
+            trace=self.trace,
+            progress=self.progress,
         )
         sweep = runner.run(scenarios, duration, firmwares=spec.firmware_table())
         return FaultCampaignResult(
@@ -327,6 +333,11 @@ class FaultCampaignRunner:
             nrmse_threshold=self.nrmse_threshold,
             timings=dict(sweep.timings),
             executed=sweep.executed,
+            telemetry=(
+                sweep.telemetry.retagged("fault-campaign")
+                if sweep.telemetry is not None
+                else None
+            ),
         )
 
     @staticmethod

@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 
 from ..circuits import benchmark_by_name
+from ..obs.export import write_trace_json
 from ..sim.sources import SquareWave
 from ..store import CampaignInterrupted, RunStore
 from ..sweep.platform import PlatformScenarioSpec
@@ -160,6 +161,25 @@ def main(argv: "list[str] | None" = None) -> int:
         help="crash simulation: stop each worker after executing N runs "
         "(exit code 3; requires --store)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="collect telemetry and write a Chrome trace_event JSON file "
+        "(inspect with repro-trace or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="write the merged campaign telemetry as a markdown report "
+        "(implies telemetry collection)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live progress line and telemetry summary",
+    )
     arguments = parser.parse_args(argv)
     if arguments.resume and arguments.store is None:
         parser.error("--resume needs --store to resume from")
@@ -198,6 +218,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ),
         seed=arguments.seed,
     )
+    trace = bool(arguments.trace or arguments.telemetry)
     runner = FaultCampaignRunner(
         bench.build,
         bench.output,
@@ -207,6 +228,8 @@ def main(argv: "list[str] | None" = None) -> int:
         store=arguments.store,
         resume=arguments.resume,
         interrupt_after=arguments.interrupt_after,
+        trace=trace or None,
+        progress=False if arguments.quiet else None,
     )
     total = len(spec)
     golden = len(spec.platform_scenarios())
@@ -249,6 +272,24 @@ def main(argv: "list[str] | None" = None) -> int:
         with open(arguments.csv, "w") as handle:
             handle.write(result.to_csv() + "\n")
         print(f"wrote {arguments.csv}")
+    if trace and result.telemetry is not None:
+        if arguments.trace:
+            write_trace_json(arguments.trace, result.telemetry)
+            print(f"wrote {arguments.trace}")
+        if arguments.telemetry:
+            with open(arguments.telemetry, "w") as handle:
+                handle.write(result.telemetry.to_markdown() + "\n")
+            print(f"wrote {arguments.telemetry}")
+        if not arguments.quiet:
+            report = result.telemetry
+            line = (
+                f"telemetry: {report.executed} executed in {report.wall:.2f}s "
+                f"({report.throughput:.2f} runs/s"
+            )
+            utilization = report.worker_utilization
+            if utilization is not None:
+                line += f", {100.0 * utilization:.0f}% worker utilization"
+            print(line + ")")
 
     if arguments.smoke:
         problems = smoke_problems(result)

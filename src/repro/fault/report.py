@@ -134,6 +134,9 @@ class FaultCampaignResult:
     #: Per-run execution flags: ``True`` for runs simulated by this campaign,
     #: ``False`` for runs loaded from a campaign store (resume).
     executed: "np.ndarray | None" = None
+    #: Merged worker telemetry (:class:`~repro.obs.telemetry.TelemetryReport`)
+    #: when the campaign was traced; ``None`` otherwise.
+    telemetry: object | None = None
     _verdicts: "list[FaultVerdict] | None" = field(
         default=None, init=False, repr=False, compare=False
     )

@@ -1,0 +1,215 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, flat JSONL, HTML report.
+
+The Chrome exporter emits the JSON object format — ``{"traceEvents": [...]}``
+— with complete (``"X"``) spans, instant (``"i"``) events and one final
+``"C"`` counter sample per merged counter, timestamps rebased to the
+earliest event and expressed in microseconds as the format requires.  The
+output loads directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+:func:`validate_trace_events` is the schema check the CI smoke job and the
+``repro-trace`` CLI run over exported files: it returns a list of problems
+(empty == valid) instead of raising, so callers can render all of them.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from .telemetry import TelemetryReport
+
+#: Phases accepted by the trace_event validator (the subset we emit plus the
+#: begin/end/metadata phases other tools commonly produce).
+VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+
+def _rebase_us(ts: float, epoch: float) -> float:
+    return round(1e6 * (ts - epoch), 3)
+
+
+def to_trace_events(report: TelemetryReport) -> dict:
+    """The report as a Chrome ``trace_event`` JSON-object payload."""
+    epoch = min((event["ts"] for event in report.events), default=0.0)
+    last_us = 0.0
+    trace_events: list[dict] = []
+    pids = sorted({event["pid"] for event in report.events}) or [0]
+    for pid in pids:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"{report.engine} worker {pid}"},
+            }
+        )
+    for event in report.events:
+        ts_us = _rebase_us(event["ts"], epoch)
+        entry = {
+            "name": event["name"],
+            "cat": event["cat"] or report.engine,
+            "ph": event["ph"],
+            "ts": ts_us,
+            "pid": event["pid"],
+            "tid": event["pid"],
+        }
+        if event["ph"] == "X":
+            entry["dur"] = round(1e6 * event["dur"], 3)
+            last_us = max(last_us, ts_us + entry["dur"])
+        else:
+            entry["s"] = "p"
+            last_us = max(last_us, ts_us)
+        if event["args"]:
+            entry["args"] = dict(event["args"])
+        trace_events.append(entry)
+    for name in sorted(report.counters):
+        trace_events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_us,
+                "pid": pids[0],
+                "tid": pids[0],
+                "args": {name: report.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"repro": report.summary()},
+    }
+
+
+def write_trace_json(path: "str | Path", report: TelemetryReport) -> Path:
+    """Write the Chrome ``trace_event`` JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_trace_events(report), indent=1), encoding="utf-8")
+    return path
+
+
+def to_jsonl(report: TelemetryReport) -> str:
+    """Flat JSONL: one summary line, then one line per counter and event."""
+    lines = [json.dumps({"kind": "summary", **report.summary()})]
+    for name in sorted(report.counters):
+        lines.append(
+            json.dumps({"kind": "counter", "name": name, "value": report.counters[name]})
+        )
+    for event in report.events:
+        lines.append(json.dumps({"kind": "event", **event}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path: "str | Path", report: TelemetryReport) -> Path:
+    """Write the flat JSONL dump; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(report), encoding="utf-8")
+    return path
+
+
+def to_html(report: TelemetryReport) -> str:
+    """A self-contained HTML rendering of the campaign report."""
+    summary_rows = "\n".join(
+        f"<tr><th>{html.escape(str(key))}</th><td>{html.escape(json.dumps(value))}</td></tr>"
+        for key, value in report.summary().items()
+    )
+    counter_rows = "\n".join(
+        f"<tr><td>{html.escape(name)}</td><td>{report.counters[name]:g}</td></tr>"
+        for name in sorted(report.counters)
+    )
+    span_rows = "\n".join(
+        f"<tr><td>{html.escape(name)}</td><td>{int(stats['count'])}</td>"
+        f"<td>{stats['total']:.3f}</td><td>{1e3 * stats['mean']:.2f}</td></tr>"
+        for name, stats in report.span_stats().items()
+    )
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Telemetry — {html.escape(report.engine)}</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }}
+table {{ border-collapse: collapse; margin: 1rem 0; }}
+th, td {{ border: 1px solid #ccd; padding: 0.3rem 0.7rem; text-align: left; }}
+th {{ background: #eef; }}
+</style>
+</head>
+<body>
+<h1>Telemetry — {html.escape(report.engine)}</h1>
+<h2>Summary</h2>
+<table>{summary_rows}</table>
+<h2>Counters</h2>
+<table><tr><th>counter</th><th>value</th></tr>{counter_rows}</table>
+<h2>Spans</h2>
+<table><tr><th>span</th><th>count</th><th>total s</th><th>mean ms</th></tr>{span_rows}</table>
+</body>
+</html>
+"""
+
+
+def write_html(path: "str | Path", report: TelemetryReport) -> Path:
+    """Write the HTML campaign report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_html(report), encoding="utf-8")
+    return path
+
+
+# -- validation ------------------------------------------------------------------------
+def validate_trace_events(payload: object) -> list[str]:
+    """Check a parsed JSON payload against the ``trace_event`` object format.
+
+    Returns human-readable problems; an empty list means the payload is a
+    valid Chrome trace.  Both the JSON-object form (``{"traceEvents": []}``)
+    and the bare JSON-array form are accepted, mirroring what Chrome loads.
+    """
+    problems: list[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' array"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return ["payload is neither a trace object nor an event array"]
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing/empty 'name'")
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            problems.append(f"{where}: invalid phase {phase!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number, got {ts!r}")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}: '{key}' must be an integer")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs non-negative 'dur'")
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter event needs an 'args' object")
+        if "args" in event and event["args"] is not None and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+def counters_from_trace(payload: dict) -> dict[str, float]:
+    """Recover the final counter values from an exported trace payload."""
+    counters: dict[str, float] = {}
+    events = payload.get("traceEvents", payload) if isinstance(payload, dict) else payload
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") == "C":
+            for name, value in (event.get("args") or {}).items():
+                counters[name] = float(value)
+    return counters

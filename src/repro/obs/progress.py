@@ -1,0 +1,84 @@
+"""Live, throttled progress for long campaigns.
+
+A :class:`ProgressReporter` renders one carriage-return line on stderr —
+``platform scenarios  12/48  25.0%  3.1/s  ETA 11.6s`` — updated at most
+every ``min_interval`` seconds so a thousand fast scenarios cost a handful
+of writes.  The batch engines drive it from whichever execution path ran:
+the serial fallback advances per scenario, the multiprocessing path per
+completed chunk.
+
+``enabled=None`` auto-detects: progress shows only when the stream is a
+terminal, so piped CI logs stay clean without every caller threading a
+flag.  ``--quiet`` in the CLIs forces it off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Throttled ``done/total`` line with rate and ETA on a stream."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "scenarios",
+        *,
+        stream=None,
+        enabled: "bool | None" = None,
+        min_interval: float = 0.2,
+    ) -> None:
+        self.total = int(total)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            enabled = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = bool(enabled) and self.total > 0
+        self.min_interval = float(min_interval)
+        self.done = 0
+        self._start = time.perf_counter()
+        self._last_render = 0.0
+        self._rendered = False
+
+    @property
+    def active(self) -> bool:
+        """Whether this reporter will ever write anything."""
+        return self.enabled
+
+    def advance(self, count: int = 1) -> None:
+        """Record ``count`` finished scenarios and re-render if due."""
+        self.done += int(count)
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self.done < self.total and now - self._last_render < self.min_interval:
+            return
+        self._render(now)
+
+    def _render(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        if 0 < self.done < self.total and rate > 0:
+            eta = f"ETA {(self.total - self.done) / rate:.1f}s"
+        else:
+            eta = f"{elapsed:.1f}s"
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        line = (
+            f"\r{self.label}  {self.done}/{self.total}  {percent:5.1f}%  "
+            f"{rate:.1f}/s  {eta}"
+        )
+        self.stream.write(line.ljust(64))
+        self.stream.flush()
+        self._last_render = now
+        self._rendered = True
+
+    def finish(self) -> None:
+        """Render the final state and terminate the progress line."""
+        if not self.enabled:
+            return
+        self._render(time.perf_counter())
+        if self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -9,8 +9,10 @@ numbers — compare them only against baselines recorded on the same host.
 
 from __future__ import annotations
 
+import functools
 import json
 import platform as _platform
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
@@ -23,6 +25,40 @@ from ..store.atomic import atomic_write_text
 
 class PerfError(ReproError):
     """Raised for malformed baseline files or inconsistent comparisons."""
+
+
+def _git(*arguments: str) -> "str | None":
+    """Stdout of one git command, or ``None`` when git/repo is unavailable."""
+    try:
+        completed = subprocess.run(
+            ("git", *arguments),
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout
+
+
+@functools.lru_cache(maxsize=1)
+def git_identity() -> "tuple[str | None, bool | None]":
+    """``(commit_hash, dirty_flag)`` of the working tree, or ``(None, None)``.
+
+    Cached for the process lifetime: a suite run records several benchmarks
+    and they should all carry the *same* identity, not race a concurrent
+    commit.  Outside a git checkout both values are ``None`` — baselines
+    recorded from an installed wheel simply omit the provenance.
+    """
+    commit = _git("rev-parse", "HEAD")
+    if commit is None:
+        return None, None
+    status = _git("status", "--porcelain")
+    dirty = None if status is None else bool(status.strip())
+    return commit.strip(), dirty
 
 
 def best_of(function: Callable[[], object], repeats: int = 3) -> float:
@@ -70,12 +106,21 @@ class BenchmarkRecord:
 
     @staticmethod
     def environment_meta() -> dict[str, object]:
-        """Provenance every record should carry (interpreter + machine)."""
+        """Provenance every record should carry (interpreter + machine + tree).
+
+        ``git_commit``/``git_dirty`` pin the record to the exact source it
+        measured; ``git_dirty`` true means uncommitted changes were present,
+        so the number is not reproducible from the commit alone.  Both are
+        ``None`` outside a git checkout.
+        """
+        commit, dirty = git_identity()
         return {
             "python": sys.version.split()[0],
             "implementation": _platform.python_implementation(),
             "machine": _platform.machine(),
             "recorded_unix_time": round(time.time(), 3),
+            "git_commit": commit,
+            "git_dirty": dirty,
         }
 
     def to_json(self) -> str:

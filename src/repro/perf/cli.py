@@ -16,6 +16,12 @@ the baseline directory to ``benchmarks/baselines/``; the installed
 benchmark × workload size × interpreter/machine identity) and ``--resume``
 skips benchmarks whose record is already committed — an interrupted long
 suite run finishes only the missing workloads.
+
+``--publish`` additionally snapshots the fresh records as ``BENCH_*.json``
+files in the repository root (records carry the git commit and dirty flag,
+so a published snapshot names the exact tree it measured), and
+``--trace``/``--telemetry`` collect :mod:`repro.obs` telemetry of the suite
+run itself.
 """
 
 from __future__ import annotations
@@ -23,13 +29,40 @@ from __future__ import annotations
 import argparse
 import json
 import platform as _platform
+import subprocess
 import sys
+import time
+from pathlib import Path
 
+from ..obs.export import write_trace_json
+from ..obs.telemetry import TelemetryReport
+from ..obs.tracer import TRACER, disable_tracing, enable_tracing
 from ..store import RunStore
 from .baseline import BaselineStore, BenchmarkRecord
 from .suite import SUITE, run_suite
 
 DEFAULT_BASELINE_DIR = "perf-baselines"
+
+
+def repo_root() -> Path:
+    """The git toplevel directory, or the current directory outside a repo.
+
+    ``--publish`` snapshots land here so the published ``BENCH_*.json``
+    files sit next to the source they measured.
+    """
+    try:
+        completed = subprocess.run(
+            ("git", "rev-parse", "--show-toplevel"),
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return Path.cwd()
+    if completed.returncode != 0 or not completed.stdout.strip():
+        return Path.cwd()
+    return Path(completed.stdout.strip())
 
 
 def _bench_store_inputs(name: str, smoke: bool) -> dict:
@@ -115,27 +148,94 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
         action="store_true",
         help="skip benchmarks already committed to --store (load their records)",
     )
+    parser.add_argument(
+        "--publish",
+        action="store_true",
+        help="also snapshot the fresh BENCH_*.json records into the repo root "
+        "(git toplevel; the current directory outside a checkout)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="collect telemetry while the suite runs and write a Chrome "
+        "trace_event JSON file (inspect with repro-trace or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="write the suite telemetry as a markdown report "
+        "(implies telemetry collection)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-metric detail lines and telemetry summary",
+    )
     arguments = parser.parse_args(argv)
     if arguments.resume and arguments.store is None:
         parser.error("--resume needs --store to resume from")
     store = BaselineStore(arguments.out)
 
+    trace = bool(arguments.trace or arguments.telemetry)
+    tracer_was_enabled = TRACER.enabled
+    if trace and not tracer_was_enabled:
+        enable_tracing()
+    telemetry_mark = TRACER.mark() if trace else None
+    suite_start = time.perf_counter()
+
     print(f"Running the perf suite ({'smoke' if arguments.smoke else 'full'} size)...")
-    if arguments.store is not None:
-        run_store = RunStore(arguments.store)
-        records, loaded = _run_suite_through_store(
-            run_store, arguments.smoke, arguments.resume
+    loaded = 0
+    try:
+        if arguments.store is not None:
+            run_store = RunStore(arguments.store)
+            records, loaded = _run_suite_through_store(
+                run_store, arguments.smoke, arguments.resume
+            )
+            print(
+                f"  suite store {arguments.store}: {len(records) - loaded} "
+                f"benchmark(s) executed, {loaded} loaded"
+            )
+        else:
+            records = run_suite(smoke=arguments.smoke)
+    finally:
+        if trace and not tracer_was_enabled:
+            disable_tracing()
+    if not arguments.quiet:
+        for record in records:
+            print(f"  {record.name}:")
+            for metric, value in sorted(record.metrics.items()):
+                print(f"    {metric:35s} {value:12.4g}")
+
+    if telemetry_mark is not None:
+        wall = time.perf_counter() - suite_start
+        report = TelemetryReport.merge(
+            "perf-suite",
+            [TRACER.collect(telemetry_mark)],
+            scenarios=len(records),
+            executed=len(records) - loaded,
+            wall=wall,
+            workers=1,
         )
-        print(
-            f"  suite store {arguments.store}: {len(records) - loaded} "
-            f"benchmark(s) executed, {loaded} loaded"
-        )
-    else:
-        records = run_suite(smoke=arguments.smoke)
-    for record in records:
-        print(f"  {record.name}:")
-        for metric, value in sorted(record.metrics.items()):
-            print(f"    {metric:35s} {value:12.4g}")
+        if arguments.trace:
+            write_trace_json(arguments.trace, report)
+            print(f"wrote {arguments.trace}")
+        if arguments.telemetry:
+            with open(arguments.telemetry, "w") as handle:
+                handle.write(report.to_markdown() + "\n")
+            print(f"wrote {arguments.telemetry}")
+        if not arguments.quiet:
+            print(
+                f"telemetry: {report.executed} benchmark(s) executed in "
+                f"{report.wall:.2f}s"
+            )
+
+    if arguments.publish:
+        published = BaselineStore(repo_root())
+        for record in records:
+            path = published.save(record)
+            print(f"  published {path}")
 
     if arguments.compare:
         regressions, missing = store.compare(records, tolerance=arguments.tolerance)

@@ -22,6 +22,7 @@ from heapq import heappop, heappush
 from typing import Callable, Iterable
 
 from ...errors import SimulationError
+from ...obs.tracer import TRACER
 from .simtime import quantize
 
 
@@ -206,23 +207,64 @@ class Kernel:
         end_time = None if duration is None else quantize(self.now + duration)
         self.end_time = end_time
         timed = self._timed
+        # Observability: a single attribute check selects between two copies
+        # of the scheduler loop — the plain one is the loop the seed shipped,
+        # so disabled tracing adds zero per-event work.
+        tracer = TRACER
+        trace = tracer.enabled
+        if trace:
+            run_start = tracer.now()
+            events_before = self.event_count
+            deltas_before = self.delta_count
+            queue_max = len(timed)
         try:
-            while not self._finished:
-                self._run_delta_cycles()
-                if not timed:
-                    break
-                next_time = timed[0][0]
-                if end_time is not None and next_time > end_time + 1e-18:
-                    self.now = end_time
-                    break
-                self.now = next_time
-                horizon = next_time + 1e-18
-                runnable = self._runnable
-                while timed and timed[0][0] <= horizon:
-                    runnable.append(heappop(timed)[2])
+            if trace:
+                while not self._finished:
+                    self._run_delta_cycles()
+                    if not timed:
+                        break
+                    next_time = timed[0][0]
+                    if end_time is not None and next_time > end_time + 1e-18:
+                        self.now = end_time
+                        break
+                    self.now = next_time
+                    if len(timed) > queue_max:
+                        queue_max = len(timed)
+                    horizon = next_time + 1e-18
+                    runnable = self._runnable
+                    while timed and timed[0][0] <= horizon:
+                        runnable.append(heappop(timed)[2])
+            else:
+                while not self._finished:
+                    self._run_delta_cycles()
+                    if not timed:
+                        break
+                    next_time = timed[0][0]
+                    if end_time is not None and next_time > end_time + 1e-18:
+                        self.now = end_time
+                        break
+                    self.now = next_time
+                    horizon = next_time + 1e-18
+                    runnable = self._runnable
+                    while timed and timed[0][0] <= horizon:
+                        runnable.append(heappop(timed)[2])
         finally:
             self._running = False
             self.end_time = None
+            if trace:
+                events = self.event_count - events_before
+                deltas = self.delta_count - deltas_before
+                tracer.add("de.runs", 1.0)
+                tracer.add("de.events", float(events))
+                tracer.add("de.deltas", float(deltas))
+                tracer.end(
+                    "de.run",
+                    run_start,
+                    "de",
+                    events=events,
+                    deltas=deltas,
+                    queue_max=queue_max,
+                )
         if end_time is not None and self.now < end_time:
             self.now = end_time
         return self.now

@@ -35,6 +35,7 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..errors import StoreError
+from ..obs.tracer import TRACER
 from .atomic import atomic_write_json
 from .keys import digest_key
 
@@ -128,7 +129,9 @@ class RunStore:
         }
         # Compact JSON: records are dominated by waveform arrays, which
         # pretty-printing would blow up to one line per sample.
-        return atomic_write_json(self.path_for(key), payload, indent=None)
+        path = atomic_write_json(self.path_for(key), payload, indent=None)
+        TRACER.add("store.commits")
+        return path
 
     def load(self, key: str) -> "dict | None":
         """The record committed under ``key``, or ``None`` when absent.
@@ -141,6 +144,7 @@ class RunStore:
         try:
             text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
+            TRACER.add("store.misses")
             return None
         except OSError as exc:
             raise StoreError(f"cannot read store record {path}: {exc}") from exc
@@ -157,6 +161,7 @@ class RunStore:
                 raise ValueError("record payload is not an object")
         except (ValueError, KeyError, TypeError) as exc:
             raise StoreError(f"malformed store record {path}: {exc}") from exc
+        TRACER.add("store.hits")
         return record
 
     # -- enumeration -------------------------------------------------------------------

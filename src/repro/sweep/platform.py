@@ -39,6 +39,9 @@ from ..core.signalflow import SignalFlowModel
 from ..errors import CampaignInterrupted, ReproError, SimulationError
 from ..metrics.nrmse import nrmse
 from ..network.circuit import Circuit, canonical_quantity
+from ..obs.progress import ProgressReporter
+from ..obs.telemetry import TelemetryReport
+from ..obs.tracer import TRACER, disable_tracing, enable_tracing, tracing_enabled
 from ..sim.runners import resolve_steps
 from ..store import RunStore, as_run_store, fingerprint
 from ..vp.platform import ANALOG_STYLES, PlatformRunResult, SmartSystemPlatform
@@ -257,6 +260,9 @@ class PlatformSweepConfig:
     #: :class:`~repro.errors.CampaignInterrupted` after this many scenarios
     #: have been *executed* (loaded ones do not count) in one worker.
     interrupt_after: int | None = None
+    #: Enable the worker-local tracer and return a telemetry payload with
+    #: the chunk results (see :mod:`repro.obs`).
+    trace: bool = False
 
     @property
     def output_quantity(self) -> str:
@@ -372,6 +378,7 @@ def _run_platform_scenario(
 
 def _run_platform_chunk(
     payload: tuple[PlatformSweepConfig, list[PlatformScenario]],
+    progress: "Callable[[int], None] | None" = None,
 ) -> dict:
     """Run one contiguous chunk of platform scenarios (worker entry point).
 
@@ -382,6 +389,11 @@ def _run_platform_chunk(
     simulates exactly that kill: the worker raises
     :class:`~repro.errors.CampaignInterrupted` once its execution budget is
     spent, *after* committing what it ran.
+
+    The ``progress`` callback is only ever passed by the serial path (pool
+    submissions keep the payload a picklable tuple); with ``config.trace``
+    set the chunk enables the process-local tracer and returns a compact
+    telemetry payload under the ``"telemetry"`` key.
     """
     config, scenarios = payload
     store = RunStore(config.store_dir) if config.store_dir else None
@@ -389,47 +401,75 @@ def _run_platform_chunk(
     elapsed: list[float] = []
     executed: list[bool] = []
     executed_count = 0
+    tracer_was_enabled = TRACER.enabled
+    if config.trace and not tracer_was_enabled:
+        enable_tracing()
+    trace_on = TRACER.enabled
+    telemetry_mark = TRACER.mark() if trace_on else None
     # The abstracted model depends only on the analog parameters, so the
     # three abstracted styles of one analog point share one abstraction.
     model_memo: dict[tuple, SignalFlowModel] = dict(config.premade_models)
-    for scenario in scenarios:
-        inputs = key = None
-        if store is not None:
-            inputs = _platform_store_inputs(config, scenario)
-            key = store.key(inputs)
-            if config.resume:
-                record = store.load(key)
-                if record is not None:
-                    stored = PlatformRunResult.from_payload(record["result"])
-                    # A crashed result is only a valid outcome under error
-                    # capture; without it the engine's contract is to raise,
-                    # so re-execute and let the real error surface.
-                    if stored.crashed is not None and not config.capture_errors:
-                        record = None
-                    else:
-                        results.append(stored)
-                        elapsed.append(float(record.get("elapsed", 0.0)))
-                        executed.append(False)
-                        continue
-        if (
-            config.interrupt_after is not None
-            and executed_count >= config.interrupt_after
-        ):
-            raise CampaignInterrupted(
-                f"worker interrupted after executing {executed_count} "
-                f"scenario(s); {len(store) if store is not None else 0} "
-                f"record(s) committed"
-            )
-        result, wall = _run_platform_scenario(config, scenario, model_memo)
-        if store is not None:
-            store.commit(
-                key, {"result": result.to_payload(), "elapsed": wall}, inputs=inputs
-            )
-        results.append(result)
-        elapsed.append(wall)
-        executed.append(True)
-        executed_count += 1
-    return {"results": results, "elapsed": elapsed, "executed": executed}
+    try:
+        for scenario in scenarios:
+            inputs = key = None
+            if store is not None:
+                inputs = _platform_store_inputs(config, scenario)
+                key = store.key(inputs)
+                if config.resume:
+                    record = store.load(key)
+                    if record is not None:
+                        stored = PlatformRunResult.from_payload(record["result"])
+                        # A crashed result is only a valid outcome under error
+                        # capture; without it the engine's contract is to raise,
+                        # so re-execute and let the real error surface.
+                        if stored.crashed is not None and not config.capture_errors:
+                            record = None
+                        else:
+                            results.append(stored)
+                            elapsed.append(float(record.get("elapsed", 0.0)))
+                            executed.append(False)
+                            if trace_on:
+                                TRACER.add("platform.loaded")
+                            if progress is not None:
+                                progress(1)
+                            continue
+            if (
+                config.interrupt_after is not None
+                and executed_count >= config.interrupt_after
+            ):
+                raise CampaignInterrupted(
+                    f"worker interrupted after executing {executed_count} "
+                    f"scenario(s); {len(store) if store is not None else 0} "
+                    f"record(s) committed"
+                )
+            result, wall = _run_platform_scenario(config, scenario, model_memo)
+            if store is not None:
+                store.commit(
+                    key, {"result": result.to_payload(), "elapsed": wall}, inputs=inputs
+                )
+            results.append(result)
+            elapsed.append(wall)
+            executed.append(True)
+            executed_count += 1
+            if trace_on:
+                TRACER.add("platform.runs")
+                TRACER.add("platform.instructions", float(result.instructions))
+                TRACER.add("platform.bus_transactions", float(result.bus_transactions))
+                TRACER.add("platform.analog_samples", float(result.analog_samples))
+                if result.crashed is not None:
+                    TRACER.add("platform.crashes")
+            if progress is not None:
+                progress(1)
+    finally:
+        if config.trace and not tracer_was_enabled:
+            disable_tracing()
+    telemetry = TRACER.collect(telemetry_mark) if telemetry_mark is not None else None
+    return {
+        "results": results,
+        "elapsed": elapsed,
+        "executed": executed,
+        "telemetry": telemetry,
+    }
 
 
 class PlatformSweepRunner:
@@ -484,6 +524,14 @@ class PlatformSweepRunner:
         :class:`~repro.errors.CampaignInterrupted` after *executing* (not
         loading) this many scenarios, leaving the store with exactly the
         committed prefix.
+    trace:
+        Collect per-worker telemetry and attach a merged
+        :class:`~repro.obs.telemetry.TelemetryReport` to the result.
+        ``None`` (the default) follows the process-wide tracing switch
+        (:func:`repro.obs.enable_tracing`).
+    progress:
+        Render a live throttled progress line on stderr.  ``None`` (the
+        default) shows it only when stderr is a terminal.
     """
 
     def __init__(
@@ -504,6 +552,8 @@ class PlatformSweepRunner:
         store: "RunStore | str | None" = None,
         resume: bool = False,
         interrupt_after: "int | None" = None,
+        trace: "bool | None" = None,
+        progress: "bool | None" = None,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -531,6 +581,8 @@ class PlatformSweepRunner:
         if interrupt_after is not None and self.store is None:
             raise SweepError("interrupt_after without a store would lose all work")
         self.interrupt_after = interrupt_after
+        self.trace = trace
+        self.progress = progress
         #: (params, model) pairs of already-abstracted analog points.
         self.premade_models = {
             tuple(sorted(params.items())): model
@@ -626,19 +678,30 @@ class PlatformSweepRunner:
             store_dir=str(self.store.directory) if self.store is not None else None,
             resume=self.resume,
             interrupt_after=self.interrupt_after,
+            trace=tracing_enabled() if self.trace is None else bool(self.trace),
         )
+
+        reporter = ProgressReporter(
+            len(scenarios), "platform scenarios", enabled=self.progress
+        )
+        advance = reporter.advance if reporter.active else None
 
         wall_start = _time.perf_counter()
         workers_used = 1
         chunk_results = None
-        if self.workers > 1 and len(scenarios) > 1:
-            chunk_results = map_scenario_chunks(
-                _run_platform_chunk, config, scenarios, self.workers
-            )
-            if chunk_results is not None:
-                workers_used = min(self.workers, len(scenarios))
-        if chunk_results is None:
-            chunk_results = [_run_platform_chunk((config, scenarios))]
+        try:
+            if self.workers > 1 and len(scenarios) > 1:
+                chunk_results = map_scenario_chunks(
+                    _run_platform_chunk, config, scenarios, self.workers, advance
+                )
+                if chunk_results is not None:
+                    workers_used = min(self.workers, len(scenarios))
+            if chunk_results is None:
+                chunk_results = [
+                    _run_platform_chunk((config, scenarios), progress=advance)
+                ]
+        finally:
+            reporter.finish()
 
         results: list[PlatformRunResult] = []
         elapsed: list[float] = []
@@ -647,18 +710,33 @@ class PlatformSweepRunner:
             results.extend(chunk["results"])
             elapsed.extend(chunk["elapsed"])
             executed.extend(chunk["executed"])
+        wall = _time.perf_counter() - wall_start
+        elapsed_array = np.asarray(elapsed, dtype=float)
+        executed_array = np.asarray(executed, dtype=bool)
+        telemetry = None
+        if config.trace:
+            telemetry = TelemetryReport.merge(
+                "platform-sweep",
+                [chunk.get("telemetry") for chunk in chunk_results],
+                scenarios=len(scenarios),
+                executed=int(np.count_nonzero(executed_array)),
+                wall=wall,
+                workers=workers_used,
+                latencies=elapsed_array[executed_array],
+            )
         return PlatformSweepResult(
             scenarios=scenarios,
             results=results,
-            elapsed=np.asarray(elapsed, dtype=float),
+            elapsed=elapsed_array,
             duration=float(duration),
             timestep=self.timestep,
             workers=workers_used,
             timings={
-                "wall": _time.perf_counter() - wall_start,
+                "wall": wall,
                 "simulate": float(sum(elapsed)),
             },
-            executed=np.asarray(executed, dtype=bool),
+            executed=executed_array,
+            telemetry=telemetry,
         )
 
 
@@ -677,6 +755,8 @@ class PlatformSweepResult:
     #: Per-scenario execution flags: ``True`` for scenarios simulated by this
     #: run, ``False`` for scenarios loaded from a campaign store (resume).
     executed: "np.ndarray | None" = None
+    #: Merged worker telemetry when the run was traced; ``None`` otherwise.
+    telemetry: "TelemetryReport | None" = None
     #: Memoised scenario_nrmse() result; the traces are immutable after the
     #: run and the reports query the errors once per row.
     _nrmse_cache: "np.ndarray | None | bool" = field(

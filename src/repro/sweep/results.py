@@ -40,6 +40,9 @@ class SweepResult:
     #: run, ``False`` for scenarios loaded from a campaign store (resume).
     #: ``None`` on results built before the store layer existed.
     executed: np.ndarray | None = None
+    #: Merged worker telemetry (:class:`~repro.obs.telemetry.TelemetryReport`)
+    #: when the run was traced; ``None`` otherwise.
+    telemetry: object | None = None
 
     # -- shape queries -----------------------------------------------------------------
     @property

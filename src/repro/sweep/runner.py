@@ -40,6 +40,9 @@ from ..core.signalflow import SignalFlowModel
 from ..errors import ReproError, SimulationError, StoreError
 from ..metrics.nrmse import compare_traces
 from ..network.circuit import Circuit
+from ..obs.progress import ProgressReporter
+from ..obs.telemetry import TelemetryReport
+from ..obs.tracer import TRACER, disable_tracing, enable_tracing, tracing_enabled
 from ..sim.runners import resolve_steps, run_reference_model
 from ..sim.trace import Trace
 from ..store import RunStore, as_run_store, fingerprint
@@ -58,6 +61,7 @@ def map_scenario_chunks(
     config: object,
     scenarios: Sequence,
     workers: int,
+    progress: "Callable[[int], None] | None" = None,
 ) -> "list | None":
     """Run ``worker((config, chunk))`` over contiguous chunks in a process pool.
 
@@ -65,6 +69,9 @@ def map_scenario_chunks(
     chunk results in scenario order, or ``None`` when the pool cannot be
     built or the payload cannot be pickled — the caller then falls back to
     the serial path, which by construction produces identical results.
+
+    ``progress`` (scenario-count callback) is invoked in the parent as each
+    chunk completes; chunk results still arrive in submission order.
 
     Payload picklability is probed *before* submission (``pickle.dumps`` of
     the exact task list), so an unpicklable recipe is a clean serial
@@ -123,7 +130,15 @@ def map_scenario_chunks(
         )
         return None
     with pool:
-        return pool.map(worker, payloads)
+        if progress is None:
+            return pool.map(worker, payloads)
+        results = []
+        # imap preserves submission order while letting the parent observe
+        # each chunk as it lands — exactly what the progress line needs.
+        for chunk, result in zip(chunks, pool.imap(worker, payloads)):
+            results.append(result)
+            progress(len(chunk))
+        return results
 
 
 @dataclass
@@ -142,6 +157,9 @@ class SweepConfig:
     #: ``resume`` is set) and commit each scenario's rows as they complete.
     store_dir: str | None = None
     resume: bool = False
+    #: Enable the worker-local tracer and return a telemetry payload with
+    #: the chunk results (see :mod:`repro.obs`).
+    trace: bool = False
 
 
 def _scenario_store_inputs(config: SweepConfig, scenario: Scenario) -> dict:
@@ -325,19 +343,32 @@ def _load_scenario_rows(
     return rows
 
 
-def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
+def _run_chunk(
+    payload: tuple[SweepConfig, list[Scenario]],
+    progress: "Callable[[int], None] | None" = None,
+) -> dict:
     """Abstract, group and simulate one contiguous chunk of scenarios.
 
     Module-level so that :mod:`multiprocessing` can import it in workers; the
-    serial path calls it directly with the whole scenario list.
+    serial path calls it directly with the whole scenario list (and may pass
+    a ``progress`` callback — pool submissions never do, keeping the payload
+    a plain picklable tuple).
 
     With a campaign store configured, scenarios whose content key is already
     committed are loaded instead of re-executed (``resume``), and every
     freshly simulated scenario is committed atomically the moment its group
     finishes — killing the process mid-chunk preserves all completed work.
+
+    With ``config.trace`` set the chunk enables the process-local tracer and
+    returns a compact telemetry payload under the ``"telemetry"`` key.
     """
     config, scenarios = payload
     timings = {"abstract": 0.0, "simulate": 0.0}
+
+    tracer_was_enabled = TRACER.enabled
+    if config.trace and not tracer_was_enabled:
+        enable_tracing()
+    telemetry_mark = TRACER.mark() if TRACER.enabled else None
 
     store = RunStore(config.store_dir) if config.store_dir else None
     keys: list[str | None] = [None] * len(scenarios)
@@ -361,6 +392,9 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
         for position in pending
     }
     timings["abstract"] = _time.perf_counter() - start
+    TRACER.complete(
+        "sweep.abstract", start, timings["abstract"], "sweep", scenarios=len(pending)
+    )
 
     try:
         steps = resolve_steps(config.duration, config.timestep)
@@ -392,6 +426,8 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
             )
             for name, matrix in matrices.items():
                 outputs[name][positions, :] = matrix
+            if progress is not None:
+                progress(len(positions))
             if store is not None:
                 for row, position in enumerate(positions):
                     _commit_scenario(
@@ -411,6 +447,8 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
             )
             for name, row in rows.items():
                 outputs[name][position, :] = row
+            if progress is not None:
+                progress(1)
             if store is not None:
                 _commit_scenario(
                     store,
@@ -425,6 +463,9 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
             f"unknown sweep backend {config.backend!r}; use 'numpy' or 'python'"
         )
     timings["simulate"] = _time.perf_counter() - start
+    TRACER.complete(
+        "sweep.simulate", start, timings["simulate"], "sweep", scenarios=len(pending)
+    )
 
     for position, record in loaded.items():
         rows = _load_scenario_rows(record, output_names, steps, store, keys[position])
@@ -433,6 +474,16 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
         signature_digest = record.get("signature")
         if signature_digest:
             signatures.add(signature_digest)
+    if progress is not None and loaded:
+        progress(len(loaded))
+
+    telemetry = None
+    if telemetry_mark is not None:
+        TRACER.add("sweep.scenarios", float(len(pending)))
+        TRACER.add("sweep.loaded", float(len(loaded)))
+        telemetry = TRACER.collect(telemetry_mark)
+        if config.trace and not tracer_was_enabled:
+            disable_tracing()
 
     return {
         "outputs": outputs,
@@ -441,6 +492,7 @@ def _run_chunk(payload: tuple[SweepConfig, list[Scenario]]) -> dict:
         "timings": timings,
         "cache": cache_info(),
         "executed": [position in models for position in range(len(scenarios))],
+        "telemetry": telemetry,
     }
 
 
@@ -477,6 +529,14 @@ class SweepRunner:
         Load scenarios already committed to ``store`` instead of
         re-executing them (requires ``store``).  Resumed ensembles are
         bit-identical to uninterrupted runs.
+    trace:
+        Collect per-worker telemetry and attach a merged
+        :class:`~repro.obs.telemetry.TelemetryReport` to the result.
+        ``None`` (the default) follows the process-wide tracing switch
+        (:func:`repro.obs.enable_tracing`).
+    progress:
+        Render a live throttled progress line on stderr.  ``None`` (the
+        default) shows it only when stderr is a terminal.
     """
 
     def __init__(
@@ -491,6 +551,8 @@ class SweepRunner:
         name: str | None = None,
         store: "RunStore | str | None" = None,
         resume: bool = False,
+        trace: "bool | None" = None,
+        progress: "bool | None" = None,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -512,6 +574,8 @@ class SweepRunner:
         if resume and self.store is None:
             raise SweepError("resume=True needs a store to resume from")
         self.resume = bool(resume)
+        self.trace = trace
+        self.progress = progress
 
     # -- execution ---------------------------------------------------------------------
     def run(
@@ -542,18 +606,27 @@ class SweepRunner:
             name=self.name,
             store_dir=str(self.store.directory) if self.store is not None else None,
             resume=self.resume,
+            trace=tracing_enabled() if self.trace is None else bool(self.trace),
         )
+
+        reporter = ProgressReporter(
+            len(scenarios), "sweep scenarios", enabled=self.progress
+        )
+        advance = reporter.advance if reporter.active else None
 
         wall_start = _time.perf_counter()
         workers_used = 1
-        if self.workers > 1 and len(scenarios) > 1:
-            chunk_results = self._run_parallel(config, scenarios)
-            if chunk_results is not None:
-                workers_used = min(self.workers, len(scenarios))
+        try:
+            if self.workers > 1 and len(scenarios) > 1:
+                chunk_results = self._run_parallel(config, scenarios, advance)
+                if chunk_results is not None:
+                    workers_used = min(self.workers, len(scenarios))
+                else:
+                    chunk_results = [_run_chunk((config, scenarios), progress=advance)]
             else:
-                chunk_results = [_run_chunk((config, scenarios))]
-        else:
-            chunk_results = [_run_chunk((config, scenarios))]
+                chunk_results = [_run_chunk((config, scenarios), progress=advance)]
+        finally:
+            reporter.finish()
 
         outputs: dict[str, np.ndarray] = {}
         for name in chunk_results[0]["outputs"]:
@@ -583,6 +656,15 @@ class SweepRunner:
             structure_groups=len(signatures),
             executed=np.asarray(executed, dtype=bool),
         )
+        if config.trace:
+            result.telemetry = TelemetryReport.merge(
+                "sweep",
+                [chunk.get("telemetry") for chunk in chunk_results],
+                scenarios=len(scenarios),
+                executed=result.executed_count,
+                wall=timings["wall"],
+                workers=workers_used,
+            )
         if reference:
             result.nrmse = self._reference_nrmse(config, result)
         return result
@@ -591,9 +673,12 @@ class SweepRunner:
         self,
         config: SweepConfig,
         scenarios: list[Scenario],
+        progress: "Callable[[int], None] | None" = None,
     ) -> "list[dict] | None":
         """Chunk across a process pool; ``None`` means fall back to serial."""
-        return map_scenario_chunks(_run_chunk, config, scenarios, self.workers)
+        return map_scenario_chunks(
+            _run_chunk, config, scenarios, self.workers, progress
+        )
 
     # -- reference comparison ----------------------------------------------------------
     def _reference_nrmse(

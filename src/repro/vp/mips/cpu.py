@@ -222,6 +222,13 @@ class MipsCpu:
         self.instruction_count = 0
         self.load_count = 0
         self.store_count = 0
+        # Observability counters.  Maintained unconditionally — but only in
+        # branches that are already rare (decode misses, code-word stores,
+        # external writes, end-of-block flush), so the hot dispatch loop is
+        # untouched and the disabled-tracing cost is unmeasurable.
+        self.block_count = 0
+        self.decode_miss_count = 0
+        self.decode_invalidation_count = 0
         self.halted = False
         #: Lazily filled decode cache, one slot per RAM word.
         self._decoded: list[tuple | None] = [None] * (memory.size // 4)
@@ -250,6 +257,9 @@ class MipsCpu:
         self.instruction_count = 0
         self.load_count = 0
         self.store_count = 0
+        self.block_count = 0
+        self.decode_miss_count = 0
+        self.decode_invalidation_count = 0
         self.halted = False
 
     # -- decode-cache maintenance --------------------------------------------------------
@@ -265,7 +275,24 @@ class MipsCpu:
             last = len(decoded) - 1
         if first > last:
             return
+        span = decoded[first : last + 1]
+        invalidated = sum(1 for entry in span if entry is not None)
+        self.decode_invalidation_count += invalidated
         decoded[first : last + 1] = [None] * (last - first + 1)
+
+    def decode_stats(self) -> dict[str, int]:
+        """Decode-cache effectiveness counters (since construction or reset).
+
+        ``decode_misses`` counts executed instructions that were not served
+        from the cache (first executions, re-decodes after invalidation and
+        uncacheable unaligned fetches); hits are therefore
+        ``instruction_count - decode_misses``.
+        """
+        return {
+            "blocks": self.block_count,
+            "decode_misses": self.decode_miss_count,
+            "decode_invalidations": self.decode_invalidation_count,
+        }
 
     # -- memory access (slow paths, kept for direct use and the bus window) --------------
     def _load_word(self, address: int) -> int:
@@ -361,6 +388,8 @@ class MipsCpu:
         stores = 0
         mem_reads = 0
         mem_writes = 0
+        misses = 0
+        invalidations = 0
         M = WORD_MASK
         try:
             while executed < max_instructions:
@@ -369,11 +398,13 @@ class MipsCpu:
                     index = offset >> 2
                     entry = decoded[index]
                     if entry is None:
+                        misses += 1
                         entry = decode_word(mem.read_word(pc), pc)
                         decoded[index] = entry
                 else:
                     # Unaligned or out-of-range pc: decode uncached (the
                     # fetch itself raises BusError when out of range).
+                    misses += 1
                     entry = decode_word(mem.read_word(pc), pc)
                 k, a, b, c = entry
 
@@ -418,6 +449,7 @@ class MipsCpu:
                         index = offset >> 2
                         if decoded[index] is not None:
                             decoded[index] = None
+                            invalidations += 1
                     elif address >= periph:
                         if executed:
                             break
@@ -436,9 +468,11 @@ class MipsCpu:
                         index = offset >> 2
                         if decoded[index] is not None:
                             decoded[index] = None
+                            invalidations += 1
                         index = (offset + 3) >> 2
                         if decoded[index] is not None:
                             decoded[index] = None
+                            invalidations += 1
                     pc += 4
                 elif k == K_ANDI:
                     reg[a] = reg[b] & c
@@ -555,6 +589,7 @@ class MipsCpu:
                         index = offset >> 2
                         if decoded[index] is not None:
                             decoded[index] = None
+                            invalidations += 1
                     pc += 4
                 elif k == K_JR:
                     pc = reg[a]
@@ -628,6 +663,9 @@ class MipsCpu:
             self.instruction_count += executed
             self.load_count += loads
             self.store_count += stores
+            self.block_count += 1
+            self.decode_miss_count += misses
+            self.decode_invalidation_count += invalidations
             mem.read_count += mem_reads
             mem.write_count += mem_writes
         return executed

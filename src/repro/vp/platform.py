@@ -26,6 +26,7 @@ from ..core.codegen.python_backend import compile_model_cached
 from ..core.signalflow import SignalFlowModel
 from ..errors import PlatformError
 from ..network.circuit import Circuit
+from ..obs.tracer import TRACER
 from ..sim.ams import ReferenceAmsSimulator
 from ..sim.cosim import AnalogCosimServer, CoSimulationBridge
 from ..sim.de import Kernel, Module, PeriodicTicker, Signal
@@ -494,8 +495,25 @@ class SmartSystemPlatform:
             raise PlatformError(
                 "attach an analog subsystem before running the platform"
             )
+        tracer = TRACER
+        if not tracer.enabled:
+            self.kernel.run(duration)
+            return self.snapshot()
+        start = tracer.now()
+        instructions_before = self.cpu.instruction_count
         self.kernel.run(duration)
-        return self.snapshot()
+        result = self.snapshot()
+        tracer.end(
+            "platform.run",
+            start,
+            "platform",
+            style=self.analog_style,
+            instructions=result.instructions - instructions_before,
+            blocks=self.cpu.block_count,
+            decode_misses=self.cpu.decode_miss_count,
+            decode_invalidations=self.cpu.decode_invalidation_count,
+        )
+        return result
 
 
 def _instantiate(model: "SignalFlowModel | type | object"):
