@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""A 4-stop tour of the circuit zoo: corpus → oracle → fuzzing → shrinking.
+
+Stop 1 — the **committed zoo**: every ``repro/zoo/corpus/*.va`` netlist is a
+hand-written Verilog-AMS module (RC ladders, dividers, conditional-gain
+stages...) exposed as a picklable circuit factory, so the whole corpus is
+directly consumable by sweeps and fault campaigns.
+Stop 2 — the **differential oracle**: one call pushes a netlist through
+parse → build → abstract and runs the result on all five engines (python,
+numpy batch, DE, TDF, and backward-Euler MNA on the unabstracted circuit),
+asserting every pairwise NRMSE stays within 1e-9.
+Stop 3 — **property-based fuzzing**: a seeded generator emits random-but-
+valid conservative networks over the supported Verilog-AMS subset; every
+case is reproducible from its ``(seed, index)`` pair alone.
+Stop 4 — the **shrinker**: when an engine is (deliberately, here) broken,
+the greedy minimiser strips the failing netlist down to a handful of
+components and renders a self-documenting reproducer — the file you would
+commit under ``tests/corpus/``.
+
+Run with:  python examples/vams_zoo_tour.py
+"""
+
+from repro.sim import Trace, TraceSet
+from repro.sweep import GridSpec, SweepRunner
+from repro.sim import SquareWave
+from repro.zoo import (
+    OracleConfig,
+    check_netlist,
+    check_source,
+    generate_netlist,
+    render,
+    shrink,
+    write_reproducer,
+    zoo_entries,
+    zoo_factory,
+)
+from repro.zoo.oracle import ENGINE_RUNNERS
+
+
+def stop_1_the_committed_zoo() -> None:
+    print("=" * 72)
+    print("Stop 1: the committed circuit zoo")
+    print("=" * 72)
+    for entry in zoo_entries():
+        parameters = ", ".join(
+            f"{name}={value:g}" for name, value in entry.parameters.items()
+        )
+        print(f"  {entry.name:18s} inputs={','.join(entry.inputs):10s} {parameters}")
+    print("\nEvery entry is a picklable factory; a 2x2 grid sweep over the")
+    print("divider's parsed `parameter real`s:")
+    runner = SweepRunner(
+        zoo_factory("divider"),
+        "out",
+        stimuli={"vin": SquareWave(period=4e-5)},
+        timestep=50e-9,
+    )
+    result = runner.run(GridSpec(axes={"RTOP": [5e3, 10e3], "RBOT": [1e3, 2.2e3]}), 5e-5)
+    for scenario, final in zip(result.scenarios, result.ensemble("V(out)")[:, -1]):
+        print(f"  {scenario.label:30s} V(out) -> {final:+.4f}")
+
+
+def stop_2_the_differential_oracle() -> None:
+    print()
+    print("=" * 72)
+    print("Stop 2: the five-engine differential oracle")
+    print("=" * 72)
+    config = OracleConfig(duration=5e-5)
+    for entry in zoo_entries()[:3]:
+        verdict = check_source(entry.source, config, output=entry.output)
+        print(f"  {entry.name:18s} {verdict.summary()}")
+
+
+def stop_3_property_based_fuzzing() -> None:
+    print()
+    print("=" * 72)
+    print("Stop 3: seeded netlist generation (repro-fuzz --seed 0)")
+    print("=" * 72)
+    netlist = generate_netlist(0, 3)
+    print(f"case (seed=0, index=3): {len(netlist)} components, "
+          f"{len(netlist.parameters())} parameters\n")
+    print(render(netlist))
+    verdict = check_netlist(netlist, OracleConfig(duration=2e-5))
+    print(f"oracle: {verdict.summary()}")
+
+
+def stop_4_the_shrinker() -> None:
+    print()
+    print("=" * 72)
+    print("Stop 4: breaking an engine on purpose, then shrinking")
+    print("=" * 72)
+
+    def skewed_mna(model, circuit, stimuli, config):
+        traces = ENGINE_RUNNERS["mna"](model, circuit, stimuli, config)
+        quantity = model.outputs[0]
+        skewed = Trace(quantity)
+        for time, value in zip(traces[quantity].times, traces[quantity].values):
+            skewed.append(float(time), float(value) * (1.0 + 1e-6))
+        return TraceSet({quantity: skewed})
+
+    config = OracleConfig(duration=2e-5)
+    overrides = {"mna": skewed_mna}
+    netlist = generate_netlist(0, 3)
+    verdict = check_netlist(netlist, config, engine_overrides=overrides)
+    print(f"with a skewed MNA engine: {verdict.summary()}")
+    minimal, final = shrink(netlist, config, engine_overrides=overrides)
+    print(f"shrunk {len(netlist)} -> {len(minimal)} components, still failing:")
+    print(f"  {final.summary()}")
+    path = write_reproducer(minimal, final, "/tmp/zoo_tour_corpus")
+    print(f"reproducer written to {path} — promote it by copying into tests/corpus/")
+
+
+def main() -> None:
+    stop_1_the_committed_zoo()
+    stop_2_the_differential_oracle()
+    stop_3_property_based_fuzzing()
+    stop_4_the_shrinker()
+
+
+if __name__ == "__main__":
+    main()

@@ -17,18 +17,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import VamsError
+from ..errors import EvaluationError, VamsError
 from ..expr.ast import (
     BinaryOp,
     Constant,
     Derivative,
     Expr,
+    Integral,
     UnaryOp,
     Variable,
     substitute,
     transform,
 )
 from ..expr.equation import DIPOLE, Equation
+from ..expr.evaluate import evaluate
 from ..expr.simplify import constant_value, simplify
 from ..network.circuit import Circuit
 from ..network.components import (
@@ -40,7 +42,17 @@ from ..network.components import (
     Resistor,
     VoltageSource,
 )
-from .ast import FLOW, INPUT, POTENTIAL, AccessRef, Contribution, VamsModule
+from .ast import (
+    FLOW,
+    INPUT,
+    POTENTIAL,
+    AccessRef,
+    AnalogStatement,
+    Block,
+    Contribution,
+    IfStatement,
+    VamsModule,
+)
 from .classify import classify_module
 
 DEFAULT_GROUND_NAMES = ("gnd", "ground", "vss", "0")
@@ -81,10 +93,20 @@ def find_ground(module: VamsModule) -> str:
 class NetlistBuilder:
     """Builds a :class:`Circuit` from a conservative Verilog-AMS module."""
 
-    def __init__(self, module: VamsModule) -> None:
+    def __init__(
+        self, module: VamsModule, overrides: "dict[str, float] | None" = None
+    ) -> None:
         self.module = module
         self.ground = find_ground(module)
         self.parameters = module.parameter_values()
+        if overrides:
+            unknown = set(overrides) - set(self.parameters)
+            if unknown:
+                raise NetlistError(
+                    f"module {module.name!r} declares no parameter called "
+                    f"{', '.join(sorted(unknown))}"
+                )
+            self.parameters.update(overrides)
         self.circuit = Circuit(module.name, ground=self.ground)
         self._anonymous_count = 0
 
@@ -99,10 +121,52 @@ class NetlistBuilder:
             )
         if drive_inputs:
             self._add_input_sources()
-        for contribution in self.module.contributions():
+        for contribution in self.active_contributions():
             self._add_component(contribution)
         self.circuit.validate()
         return self.circuit
+
+    def active_contributions(self) -> list[Contribution]:
+        """Contribution statements with parameter-constant conditionals folded.
+
+        ``if``/``else`` statements whose conditions only involve parameters
+        (and literals) select a single active arm at elaboration time —
+        exactly one topology is built per parameter point, so a conditional
+        gain stage contributes one component, not both alternatives.
+        Conditions that do not fold to a constant (they read ``V``/``I``
+        quantities or undeclared names) are rejected: a conservative network
+        has no state-dependent topology.
+        """
+        contributions: list[Contribution] = []
+        self._collect_active(self.module.analog, contributions)
+        return contributions
+
+    def _collect_active(
+        self, statements: list[AnalogStatement], into: list[Contribution]
+    ) -> None:
+        for statement in statements:
+            if isinstance(statement, Block):
+                self._collect_active(statement.statements, into)
+            elif isinstance(statement, IfStatement):
+                arm = (
+                    statement.then_branch
+                    if self._fold_condition(statement.condition)
+                    else statement.else_branch
+                )
+                self._collect_active(arm, into)
+            elif isinstance(statement, Contribution):
+                into.append(statement)
+
+    def _fold_condition(self, condition: Expr) -> bool:
+        try:
+            value = evaluate(condition, self.parameters)
+        except EvaluationError as exc:
+            raise NetlistError(
+                f"the conditional {condition} of module {self.module.name!r} "
+                f"does not fold to a constant under its parameters ({exc}); "
+                "conservative conditionals may only test parameters"
+            ) from exc
+        return value != 0.0
 
     # -- helpers --------------------------------------------------------------------
     def _add_input_sources(self) -> None:
@@ -205,6 +269,8 @@ class NetlistBuilder:
         factor_of_current = _linear_factor(expression, own_current)
         factor_of_ddt_voltage = _derivative_factor(expression, own_voltage)
         factor_of_ddt_current = _derivative_factor(expression, Variable(own_current))
+        factor_of_idt_current = _integral_factor(expression, Variable(own_current))
+        factor_of_idt_voltage = _integral_factor(expression, own_voltage)
         value = constant_value(expression)
 
         if kind == POTENTIAL:
@@ -212,6 +278,9 @@ class NetlistBuilder:
                 return Resistor(factor_of_current)
             if factor_of_ddt_current is not None:
                 return Inductor(factor_of_ddt_current)
+            if factor_of_idt_current is not None and factor_of_idt_current > 0.0:
+                # V = (1/C) * idt(I): the integral form of the capacitor law.
+                return Capacitor(1.0 / factor_of_idt_current)
             if value is not None:
                 return VoltageSource(dc_value=value)
             if _is_input_reference(expression, self.module):
@@ -227,6 +296,9 @@ class NetlistBuilder:
         if kind == FLOW:
             if factor_of_ddt_voltage is not None:
                 return Capacitor(factor_of_ddt_voltage)
+            if factor_of_idt_voltage is not None and factor_of_idt_voltage > 0.0:
+                # I = (1/L) * idt(V): the integral form of the inductor law.
+                return Inductor(1.0 / factor_of_idt_voltage)
             conductance = _conductance_factor(expression, own_voltage)
             if conductance is not None:
                 return Resistor(1.0 / conductance)
@@ -264,24 +336,48 @@ def _linear_factor(expression: Expr, variable_name: str) -> float | None:
 
 def _derivative_factor(expression: Expr, operand: Expr) -> float | None:
     """Return ``k`` when ``expression == k * ddt(operand)`` (up to sign/shape)."""
+    return _operator_factor(expression, operand, Derivative)
+
+
+def _integral_factor(expression: Expr, operand: Expr) -> float | None:
+    """Return ``k`` when ``expression == k * idt(operand)`` with zero initial value."""
+    return _operator_factor(expression, operand, Integral)
+
+
+def _operator_factor(expression: Expr, operand: Expr, node_type: type) -> float | None:
+    """Match ``k * op(operand)`` where scaling may be ``k*x``, ``x*k``, ``x/k`` or ``-x``."""
     expression = simplify(expression)
-    if isinstance(expression, Derivative):
+    if isinstance(expression, node_type):
+        if node_type is Integral and not _zero_initial(expression):
+            return None
         if simplify(expression.operand) == simplify(operand):
             return 1.0
         return None
     if isinstance(expression, UnaryOp) and expression.op == "-":
-        inner = _derivative_factor(expression.operand, operand)
+        inner = _operator_factor(expression.operand, operand, node_type)
         return None if inner is None else -inner
     if isinstance(expression, BinaryOp) and expression.op == "*":
         left_value = constant_value(expression.lhs)
         right_value = constant_value(expression.rhs)
         if left_value is not None:
-            inner = _derivative_factor(expression.rhs, operand)
+            inner = _operator_factor(expression.rhs, operand, node_type)
             return None if inner is None else left_value * inner
         if right_value is not None:
-            inner = _derivative_factor(expression.lhs, operand)
+            inner = _operator_factor(expression.lhs, operand, node_type)
             return None if inner is None else right_value * inner
+    if isinstance(expression, BinaryOp) and expression.op == "/":
+        divisor = constant_value(expression.rhs)
+        if divisor not in (None, 0.0):
+            inner = _operator_factor(expression.lhs, operand, node_type)
+            return None if inner is None else inner / divisor
     return None
+
+
+def _zero_initial(integral: Integral) -> bool:
+    """True when the ``idt`` call carries no (or an explicitly zero) initial value."""
+    if integral.initial is None:
+        return True
+    return constant_value(simplify(integral.initial)) == 0.0
 
 
 def _conductance_factor(expression: Expr, own_voltage: Expr) -> float | None:
@@ -373,9 +469,18 @@ def _potential_nodes(expression: Expr) -> tuple[str, str] | None:
     return None
 
 
-def to_circuit(module: VamsModule, drive_inputs: bool = True) -> Circuit:
-    """Convert a conservative Verilog-AMS module into a typed circuit netlist."""
-    return NetlistBuilder(module).build(drive_inputs=drive_inputs)
+def to_circuit(
+    module: VamsModule,
+    drive_inputs: bool = True,
+    overrides: "dict[str, float] | None" = None,
+) -> Circuit:
+    """Convert a conservative Verilog-AMS module into a typed circuit netlist.
+
+    ``overrides`` re-elaborates the module with different ``parameter real``
+    values (sweeps and fault campaigns over parsed netlists rely on this);
+    names absent from the module raise :class:`NetlistError`.
+    """
+    return NetlistBuilder(module, overrides=overrides).build(drive_inputs=drive_inputs)
 
 
 def extract_dipole_equations(module: VamsModule) -> list[Equation]:
@@ -387,7 +492,7 @@ def extract_dipole_equations(module: VamsModule) -> list[Equation]:
     """
     builder = NetlistBuilder(module)
     equations: list[Equation] = []
-    for contribution in module.contributions():
+    for contribution in builder.active_contributions():
         branch = builder._resolve_target(contribution.target)
         rhs = builder._substitute_names(contribution.expression, branch)
         if contribution.target.kind == POTENTIAL:

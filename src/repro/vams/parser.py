@@ -261,6 +261,16 @@ class Parser:
                 self._expect(PUNCT, ";")
                 return Contribution(access, expression)
             raise self._error("expected the contribution operator '<+'")
+        if token.kind == IDENT and self._peek(1).value == "(":
+            # An identifier called like an access function but spelled wrong
+            # (``Q(a,b) <+ ...``): name the real problem instead of a generic
+            # unexpected-token complaint.
+            raise VamsParseError(
+                f"unknown access function {token.value!r} in contribution "
+                f"target; expected one of {', '.join(_ACCESS_FUNCTIONS)}",
+                token.line,
+                token.column,
+            )
         if token.kind == IDENT and self._peek(1).value == "=":
             name = self._advance().value
             self._expect(OPERATOR, "=")

@@ -1,0 +1,52 @@
+"""Circuit zoo: corpus of Verilog-AMS netlists + differential fuzz harness.
+
+``repro.zoo`` defends the abstraction methodology at corpus scale.  It bundles
+
+- :mod:`repro.zoo.generate` — seeded generation of random-but-valid
+  conservative Verilog-AMS netlists, deterministic per ``(seed, index)``;
+- :mod:`repro.zoo.oracle` — the differential oracle that pushes each netlist
+  through every engine (python / numpy batch / DE / TDF / MNA) and asserts
+  pairwise agreement, plus the greedy shrinker that minimises disagreements
+  into committed reproducers;
+- :mod:`repro.zoo.catalog` — the committed ``corpus/*.va`` zoo exposed as
+  first-class circuit factories consumable by sweeps and fault campaigns;
+- :mod:`repro.zoo.cli` — the ``repro-fuzz`` console entry point.
+"""
+
+from .catalog import ZooEntry, corpus_dir, load_entry, zoo_entries, zoo_factory
+from .generate import (
+    GeneratorConfig,
+    ZooComponent,
+    ZooNetlist,
+    generate_cases,
+    generate_netlist,
+    render,
+)
+from .oracle import (
+    OracleConfig,
+    OracleVerdict,
+    check_netlist,
+    check_source,
+    shrink,
+    write_reproducer,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "OracleConfig",
+    "OracleVerdict",
+    "ZooComponent",
+    "ZooEntry",
+    "ZooNetlist",
+    "check_netlist",
+    "check_source",
+    "corpus_dir",
+    "generate_cases",
+    "generate_netlist",
+    "load_entry",
+    "render",
+    "shrink",
+    "write_reproducer",
+    "zoo_factory",
+    "zoo_entries",
+]

@@ -1,0 +1,183 @@
+"""``repro-fuzz``: the circuit-zoo differential fuzzing campaign driver.
+
+Generates ``--count`` random conservative netlists from ``--seed``, pushes
+each through the five-engine differential oracle, and — for any failure —
+greedily shrinks the case and writes a reproducer netlist into
+``--corpus-dir`` (default ``tests/corpus/``) so the bug becomes a permanent
+regression test.  ``--smoke`` is the CI profile: a fixed small campaign that
+also re-checks every committed zoo netlist first.
+
+Exit status: 0 when every case agrees, 1 when any case fails, 2 on bad
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from ..obs import ProgressReporter
+from .catalog import zoo_entries
+from .generate import GeneratorConfig, generate_netlist
+from .oracle import OracleConfig, check_netlist, check_source, shrink, write_reproducer
+
+#: The ``--smoke`` campaign size: what CI runs on every push.
+SMOKE_COUNT = 50
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one fuzz campaign (returned by :func:`run_campaign`)."""
+
+    seed: int
+    checked: int = 0
+    failures: "list[tuple[str, str]]" = field(default_factory=list)
+    reproducers: "list[str]" = field(default_factory=list)
+    worst_error: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_campaign(
+    seed: int,
+    count: int,
+    corpus_dir: "str | None" = None,
+    config: "OracleConfig | None" = None,
+    generator: "GeneratorConfig | None" = None,
+    include_zoo: bool = False,
+    progress: "ProgressReporter | None" = None,
+    log=None,
+) -> CampaignReport:
+    """Run one differential fuzz campaign; shrink and persist any failure."""
+    config = config or OracleConfig()
+    report = CampaignReport(seed=seed)
+
+    def record(name: str, verdict) -> None:
+        report.checked += 1
+        report.worst_error = max(report.worst_error, verdict.worst_error)
+        if progress is not None:
+            progress.advance()
+        if verdict.ok:
+            return
+        report.failures.append((name, verdict.summary()))
+        if log is not None:
+            print(f"FAIL {name}: {verdict.summary()}", file=log)
+
+    if include_zoo:
+        for entry in zoo_entries():
+            verdict = check_source(entry.source, config, output=entry.output)
+            record(entry.name, verdict)
+
+    for index in range(count):
+        netlist = generate_netlist(seed, index, generator)
+        verdict = check_netlist(netlist, config)
+        if verdict.ok:
+            record(netlist.name, verdict)
+            continue
+        record(netlist.name, verdict)
+        if corpus_dir is not None:
+            minimal, final_verdict = shrink(netlist, config)
+            path = write_reproducer(minimal, final_verdict, corpus_dir)
+            report.reproducers.append(str(path))
+            if log is not None:
+                print(
+                    f"  shrunk to {len(minimal)} components -> {path}", file=log
+                )
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Differential fuzzing of the Verilog-AMS frontend and every "
+            "simulation engine against randomly generated conservative "
+            "networks."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        help="number of generated netlists to check (default 100)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            f"CI profile: check the committed zoo plus {SMOKE_COUNT} "
+            "generated netlists (overrides --count unless --count is larger)"
+        ),
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default="tests/corpus",
+        help=(
+            "directory shrunk reproducers are written into "
+            "(default tests/corpus); 'none' disables shrinking"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-9,
+        help="pairwise NRMSE agreement threshold (default 1e-9)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=100e-6,
+        help="simulated duration per case in seconds (default 100e-6)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.count < 1:
+        print("repro-fuzz: --count must be at least 1", file=sys.stderr)
+        return 2
+    count = max(args.count, SMOKE_COUNT) if args.smoke else args.count
+    corpus_dir = None if args.corpus_dir.lower() == "none" else args.corpus_dir
+    config = OracleConfig(tolerance=args.tolerance, duration=args.duration)
+
+    total = count + (len(zoo_entries()) if args.smoke else 0)
+    progress = ProgressReporter(total, "netlists")
+    report = run_campaign(
+        args.seed,
+        count,
+        corpus_dir=corpus_dir,
+        config=config,
+        include_zoo=args.smoke,
+        progress=progress,
+        log=sys.stderr,
+    )
+    progress.finish()
+
+    if report.ok:
+        print(
+            f"repro-fuzz: {report.checked} netlists agree across "
+            f"{len(config.engines)} engines (seed {report.seed}, worst "
+            f"pairwise NRMSE {report.worst_error:.3e})"
+        )
+        return 0
+    print(
+        f"repro-fuzz: {len(report.failures)}/{report.checked} netlists FAILED "
+        f"(seed {report.seed}):",
+        file=sys.stderr,
+    )
+    for name, summary in report.failures:
+        print(f"  {name}: {summary}", file=sys.stderr)
+    for path in report.reproducers:
+        print(f"  reproducer: {path}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -158,6 +158,7 @@ class TestExamples:
             "sweep_tour.py",
             "platform_sweep_tour.py",
             "resume_tour.py",
+            "vams_zoo_tour.py",
         ],
     )
     def test_example_defines_main(self, script):

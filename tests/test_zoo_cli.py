@@ -1,0 +1,38 @@
+"""The ``repro-fuzz`` campaign driver: exit codes, reports, reproducers."""
+
+from __future__ import annotations
+
+from repro.zoo.cli import SMOKE_COUNT, build_parser, main, run_campaign
+
+
+class TestMain:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["--count", "3", "--seed", "2", "--corpus-dir", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "3 netlists agree across 5 engines" in out
+        assert "seed 2" in out
+
+    def test_bad_count_exits_two(self, capsys):
+        assert main(["--count", "0"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+    def test_smoke_floors_the_count(self):
+        args = build_parser().parse_args(["--smoke", "--count", "3"])
+        assert args.smoke and args.count == 3
+        assert max(args.count, SMOKE_COUNT) == SMOKE_COUNT
+
+
+class TestRunCampaign:
+    def test_report_aggregates_checks(self):
+        report = run_campaign(seed=4, count=3)
+        assert report.ok
+        assert report.checked == 3
+        assert report.failures == [] and report.reproducers == []
+        assert 0.0 < report.worst_error <= 1e-9
+
+    def test_include_zoo_checks_the_committed_corpus(self):
+        from repro.zoo import zoo_entries
+
+        report = run_campaign(seed=4, count=1, include_zoo=True)
+        assert report.ok
+        assert report.checked == 1 + len(zoo_entries())

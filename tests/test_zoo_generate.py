@@ -1,0 +1,137 @@
+"""Tests of the circuit-zoo netlist generator.
+
+The generator's contract: every emitted netlist is valid (parses, builds,
+abstracts), the derivation is bit-deterministic per ``(seed, index)``, the
+rendered sources collectively exercise the whole supported Verilog-AMS
+subset, and the shrinking mutations preserve structural invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AbstractionFlow
+from repro.vams import parse_module, to_circuit
+from repro.zoo import GeneratorConfig, generate_cases, generate_netlist, render
+from repro.zoo.generate import drop_component, plainify_component, round_component
+
+SAMPLE = 40  # cases per sweep-style assertion below
+
+
+class TestDeterminism:
+    def test_same_seed_and_index_render_identically(self):
+        for index in (0, 3, 17):
+            first = generate_netlist(2016, index)
+            again = generate_netlist(2016, index)
+            assert first == again
+            assert render(first) == render(again)
+
+    def test_distinct_indices_differ(self):
+        sources = {render(generate_netlist(0, index)) for index in range(12)}
+        assert len(sources) == 12
+
+    def test_distinct_seeds_differ(self):
+        assert render(generate_netlist(0, 0)) != render(generate_netlist(1, 0))
+
+    def test_generate_cases_matches_per_index_generation(self):
+        cases = list(generate_cases(5, 6))
+        assert cases == [generate_netlist(5, index) for index in range(6)]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_every_case_parses_builds_and_abstracts(self, seed):
+        for netlist in generate_cases(seed, 15):
+            module = parse_module(render(netlist))
+            circuit = to_circuit(module)
+            model = AbstractionFlow(50e-9).abstract(
+                circuit, netlist.output, name=netlist.name
+            ).model
+            assert set(netlist.inputs) <= set(model.inputs)
+
+    def test_case_names_carry_provenance(self):
+        netlist = generate_netlist(3, 9)
+        assert netlist.name == "zoo_s3_c9"
+        assert (netlist.seed, netlist.index) == (3, 9)
+
+    def test_parameter_defaults_round_trip_through_the_parser(self):
+        for netlist in generate_cases(0, SAMPLE):
+            declared = netlist.parameters()
+            parsed = parse_module(render(netlist)).parameter_values()
+            for name, value in declared.items():
+                assert parsed[name] == pytest.approx(value, rel=1e-6)
+
+
+class TestSubsetCoverage:
+    """One campaign's worth of netlists must exercise every rendered feature."""
+
+    @pytest.fixture(scope="class")
+    def sources(self):
+        return [render(netlist) for netlist in generate_cases(0, SAMPLE)]
+
+    @pytest.mark.parametrize(
+        "needle",
+        [
+            "ddt(",          # derivative contributions
+            "idt(",          # integral contributions
+            "parameter real",
+            "branch (",      # named branches
+            "if (",          # conditional gain arms
+            " ? ",           # ternary gain spelling
+            "//",            # line comments
+            "/*",            # block comments
+            "endmodule",
+        ],
+        ids=lambda needle: needle.strip(" (/?"),
+    )
+    def test_feature_appears_in_campaign(self, sources, needle):
+        assert any(needle in source for source in sources)
+
+    def test_si_suffixed_literals_appear(self, sources):
+        import re
+
+        pattern = re.compile(r"\d[kMmunp]\b")
+        assert any(pattern.search(source) for source in sources)
+
+    def test_implicit_ground_accesses_appear(self, sources):
+        import re
+
+        pattern = re.compile(r"[VI]\(\w+\) <\+")
+        assert any(pattern.search(source) for source in sources)
+
+
+class TestMutations:
+    def test_drop_component_removes_exactly_one(self):
+        netlist = generate_netlist(0, 3)
+        shrunk = drop_component(netlist, 0)
+        assert len(shrunk) == len(netlist) - 1
+        assert shrunk.components == netlist.components[1:]
+
+    def test_plainify_folds_sugar_away(self):
+        netlist = generate_netlist(0, 3)
+        for position in range(len(netlist.components)):
+            plain = plainify_component(netlist, position)
+            if plain is None:
+                continue
+            component = plain.components[position]
+            assert component.param is None
+            assert component.style in ("potential", "ddt", "plain", "dc")
+            assert component.si is False
+            source = render(plain)
+            assert parse_module(source).name == netlist.name
+
+    def test_round_component_keeps_one_significant_digit(self):
+        netlist = generate_netlist(0, 0)
+        for position in range(len(netlist.components)):
+            rounded = round_component(netlist, position)
+            if rounded is None:
+                continue
+            value = rounded.components[position].value
+            digits = f"{abs(value):e}".split("e")[0].rstrip("0").rstrip(".")
+            assert len(digits.replace(".", "")) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_internal_nodes=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_extras=-1)

@@ -1,0 +1,138 @@
+"""Tests of the differential oracle and the greedy shrinker.
+
+The oracle must pass every healthy generated netlist, catch an injected
+engine defect as an agreement failure, and the shrinker must minimise the
+failing case below five components — the committed reproducer under
+``tests/corpus/`` is regenerated here and compared byte-for-byte (modulo the
+header, whose NRMSE digits may wiggle in the last places across BLAS builds).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim import Trace, TraceSet
+from repro.zoo import (
+    OracleConfig,
+    check_netlist,
+    check_source,
+    generate_netlist,
+    shrink,
+    write_reproducer,
+)
+from repro.zoo.oracle import AGREEMENT, ENGINE, ENGINE_RUNNERS, FRONTEND
+
+#: Short oracle profile for tests: 400 analog steps per engine.
+FAST = OracleConfig(duration=2e-5)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _skewed_mna(model, circuit, stimuli, config):
+    """A subtly broken engine: the MNA waveform scaled by (1 + 1e-6)."""
+    traces = ENGINE_RUNNERS["mna"](model, circuit, stimuli, config)
+    quantity = model.outputs[0]
+    skewed = Trace(quantity)
+    for time, value in zip(traces[quantity].times, traces[quantity].values):
+        skewed.append(float(time), float(value) * (1.0 + 1e-6))
+    return TraceSet({quantity: skewed})
+
+
+def _crashing_engine(model, circuit, stimuli, config):
+    raise ValueError("injected engine crash")
+
+
+class TestOracleVerdicts:
+    def test_healthy_netlist_passes(self):
+        verdict = check_netlist(generate_netlist(0, 0), FAST)
+        assert verdict.ok and bool(verdict)
+        assert verdict.worst_error <= FAST.tolerance
+        assert len(verdict.errors) == 10  # C(5, 2) engine pairs
+        assert "ok" in verdict.summary()
+
+    def test_frontend_failure_is_reported_with_stage(self):
+        verdict = check_source("module broken(", FAST)
+        assert not verdict.ok
+        assert verdict.stage == FRONTEND
+        assert "VamsParseError" in verdict.detail
+
+    def test_injected_disagreement_is_caught(self):
+        verdict = check_netlist(
+            generate_netlist(0, 3), FAST, engine_overrides={"mna": _skewed_mna}
+        )
+        assert not verdict.ok
+        assert verdict.stage == AGREEMENT
+        assert verdict.worst_pair is not None and "mna" in verdict.worst_pair
+        assert verdict.worst_error > FAST.tolerance
+        assert "disagree" in verdict.summary()
+
+    def test_crashing_engine_is_an_engine_failure(self):
+        verdict = check_netlist(
+            generate_netlist(0, 0), FAST, engine_overrides={"de": _crashing_engine}
+        )
+        assert not verdict.ok
+        assert verdict.stage == ENGINE
+        assert "'de'" in verdict.detail and "injected" in verdict.detail
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OracleConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            OracleConfig(engines=("python",))
+        with pytest.raises(ValueError):
+            OracleConfig(engines=("python", "spice"))
+        with pytest.raises(ValueError):
+            OracleConfig(duration=-1.0)
+
+
+class TestShrinker:
+    @pytest.fixture(scope="class")
+    def shrunk(self):
+        netlist = generate_netlist(0, 3)
+        assert len(netlist) > 5  # the shrink has real work to do
+        return shrink(netlist, FAST, engine_overrides={"mna": _skewed_mna})
+
+    def test_minimal_reproducer_has_at_most_five_components(self, shrunk):
+        minimal, verdict = shrunk
+        assert len(minimal) <= 5
+        assert not verdict.ok and verdict.stage == AGREEMENT
+
+    def test_minimal_netlist_still_reproduces_the_defect(self, shrunk):
+        minimal, _ = shrunk
+        replay = check_netlist(minimal, FAST, engine_overrides={"mna": _skewed_mna})
+        assert not replay.ok
+        healthy = check_netlist(minimal, FAST)
+        assert healthy.ok  # the defect is in the engine, not the netlist
+
+    def test_reproducer_matches_the_committed_corpus_file(self, shrunk, tmp_path):
+        minimal, verdict = shrunk
+        written = write_reproducer(minimal, verdict, tmp_path)
+        committed = CORPUS / written.name
+
+        def body(path: Path) -> str:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            return "\n".join(line for line in lines if not line.startswith("//"))
+
+        assert committed.exists(), (
+            f"regenerate with: cp {written} {committed}"
+        )
+        assert body(written) == body(committed)
+
+    def test_header_carries_provenance(self, shrunk, tmp_path):
+        minimal, verdict = shrunk
+        written = write_reproducer(minimal, verdict, tmp_path)
+        header = written.read_text(encoding="utf-8")
+        assert "seed=0 index=3" in header
+        assert verdict.worst_pair is not None
+        assert "disagree" in header
+
+    def test_committed_reproducer_passes_healthy_engines(self):
+        for path in sorted(CORPUS.glob("*.va")):
+            verdict = check_source(path.read_text(encoding="utf-8"), FAST)
+            assert verdict.ok, f"{path.name}: {verdict.summary()}"
+
+    def test_shrinking_a_passing_netlist_is_refused(self):
+        with pytest.raises(ValueError):
+            shrink(generate_netlist(0, 0), FAST)
