@@ -42,7 +42,7 @@ from .sweep import (
 )
 from .vams.parser import parse_module, parse_source
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AbstractionFlow",

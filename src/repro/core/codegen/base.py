@@ -126,6 +126,29 @@ class ExpressionRenderer:
         "floor": "np.floor",
         "ceil": "np.ceil",
     }
+    C99_FUNCTIONS = {
+        "ln": "log",
+        "log": "log10",
+        "exp": "exp",
+        "limexp": "exp",
+        "sin": "sin",
+        "cos": "cos",
+        "tan": "tan",
+        "asin": "asin",
+        "acos": "acos",
+        "atan": "atan",
+        "atan2": "atan2",
+        "sinh": "sinh",
+        "cosh": "cosh",
+        "tanh": "tanh",
+        "sqrt": "sqrt",
+        "abs": "fabs",
+        "min": "fmin",
+        "max": "fmax",
+        "pow": "pow",
+        "floor": "floor",
+        "ceil": "ceil",
+    }
     C_FUNCTIONS = {
         "ln": "std::log",
         "log": "std::log10",
@@ -156,7 +179,7 @@ class ExpressionRenderer:
         variable_formatter: Callable[[str], str],
         previous_formatter: Callable[[str], str],
     ) -> None:
-        if language not in ("python", "numpy", "c++"):
+        if language not in ("python", "numpy", "c++", "c"):
             raise CodeGenerationError(f"unsupported rendering language {language!r}")
         self.language = language
         self.variable_formatter = variable_formatter
@@ -165,6 +188,8 @@ class ExpressionRenderer:
             self._functions = self.PYTHON_FUNCTIONS
         elif language == "numpy":
             self._functions = self.NUMPY_FUNCTIONS
+        elif language == "c":
+            self._functions = self.C99_FUNCTIONS
         else:
             self._functions = self.C_FUNCTIONS
 
@@ -195,8 +220,9 @@ class ExpressionRenderer:
                 raise CodeGenerationError(f"cannot translate function {node.func!r}")
             rendered = [self._visit(argument, 0) for argument in node.args]
             # np.minimum/np.maximum are strictly binary (the third positional
-            # argument is ``out=``!); fold variadic min/max into nested calls.
-            if self.language == "numpy" and node.func in ("min", "max") and len(rendered) > 2:
+            # argument is ``out=``!) and so are C99 fmin/fmax; fold variadic
+            # min/max into nested calls.
+            if self.language in ("numpy", "c") and node.func in ("min", "max") and len(rendered) > 2:
                 folded = rendered[-1]
                 for argument in reversed(rendered[:-1]):
                     folded = f"{function}({argument}, {folded})"
@@ -245,7 +271,7 @@ class ExpressionRenderer:
             exponent = self._visit(node.rhs, 0)
             if self.language in ("python", "numpy"):
                 return f"({base}) ** ({exponent})"
-            return f"std::pow({base}, {exponent})"
+            return f"{self._functions['pow']}({base}, {exponent})"
         if operator in ("&&", "||") and self.language == "numpy":
             function = "np.logical_and" if operator == "&&" else "np.logical_or"
             return f"{function}({self._visit(node.lhs, 0)}, {self._visit(node.rhs, 0)})"
@@ -271,6 +297,15 @@ class CodeGenerator:
     def generate(self, model: SignalFlowModel) -> GeneratedCode:
         """Emit code for ``model``."""
         raise NotImplementedError
+
+    def ensure_available(self) -> None:
+        """Raise :class:`~repro.errors.CodegenError` when the backend cannot
+        *execute* on this machine (e.g. a missing toolchain).
+
+        Source emission itself never requires the toolchain, so the default
+        is a no-op; :func:`repro.core.codegen.get_generator` calls this so
+        callers asking for an executable backend fail early with the reason.
+        """
 
     # -- shared helpers ---------------------------------------------------------------
     @staticmethod

@@ -87,6 +87,16 @@ class CodeGenerationError(AbstractionError):
     """Step 4 (code generation) could not emit the requested backend."""
 
 
+class CodegenError(CodeGenerationError):
+    """A codegen backend exists but cannot run here (missing toolchain/dependency).
+
+    Distinct from :class:`CodeGenerationError` raised for unknown backends or
+    malformed models: this one means "the ``native`` tier would work on a
+    machine with a C compiler and cffi, but not on this one" — callers that
+    can degrade (sweep/fuzz CLIs) catch it and fall back to ``numpy``.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for simulation-kernel errors (DE, TDF, ELN, reference AMS)."""
 

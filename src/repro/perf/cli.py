@@ -38,7 +38,7 @@ from ..obs.export import write_trace_json
 from ..obs.telemetry import TelemetryReport
 from ..obs.tracer import TRACER, disable_tracing, enable_tracing
 from ..store import RunStore
-from .baseline import BaselineStore, BenchmarkRecord
+from .baseline import BaselineStore, BenchmarkRecord, git_identity
 from .suite import SUITE, run_suite
 
 DEFAULT_BASELINE_DIR = "perf-baselines"
@@ -152,7 +152,16 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
         "--publish",
         action="store_true",
         help="also snapshot the fresh BENCH_*.json records into the repo root "
-        "(git toplevel; the current directory outside a checkout)",
+        "(git toplevel; the current directory outside a checkout); refuses "
+        "a dirty working tree so published numbers always name the exact "
+        "commit they measured",
+    )
+    parser.add_argument(
+        "--allow-dirty",
+        action="store_true",
+        help="let --publish proceed from a dirty working tree (the records "
+        "will carry git_dirty: true and are not reproducible from the "
+        "recorded commit alone)",
     )
     parser.add_argument(
         "--trace",
@@ -176,6 +185,18 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
     arguments = parser.parse_args(argv)
     if arguments.resume and arguments.store is None:
         parser.error("--resume needs --store to resume from")
+    if arguments.publish and not arguments.allow_dirty:
+        _, dirty = git_identity()
+        if dirty:
+            print(
+                "repro-bench: refusing to --publish from a dirty working "
+                "tree: the snapshot would carry git_dirty: true and could "
+                "not be reproduced from the recorded commit. Commit (or "
+                "stash) your changes, or pass --allow-dirty to publish "
+                "anyway.",
+                file=sys.stderr,
+            )
+            return 2
     store = BaselineStore(arguments.out)
 
     trace = bool(arguments.trace or arguments.telemetry)

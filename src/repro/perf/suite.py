@@ -40,11 +40,17 @@ loop:   addiu $t0, $t0, 1
 """
 
 
-def make_firmware_loop_cpu() -> MipsCpu:
+#: Burst size at which the superblock tier amortises its dispatch overhead
+#: (the per-burst entry cost is fixed, so longer bursts spend a larger
+#: fraction of their time inside the fused loop bodies).
+SUPERBLOCK_CYCLES = 1024
+
+
+def make_firmware_loop_cpu(superblocks: bool = False) -> MipsCpu:
     """A CPU loaded with :data:`FIRMWARE_STYLE_LOOP` (no peripherals)."""
     memory = Memory(size=64 * 1024)
     memory.load_image(assemble(FIRMWARE_STYLE_LOOP).to_bytes())
-    return MipsCpu(memory)
+    return MipsCpu(memory, superblocks=superblocks)
 
 
 def iss_throughput(
@@ -61,7 +67,9 @@ def iss_throughput(
     * ``"tick"`` — one instruction per DE-kernel event (the historical
       per-tick platform integration);
     * ``"block"`` — ``block_cycles``-instruction bursts per DE-kernel event
-      (the block-stepped integration).
+      (the block-stepped integration, superblock compilation off);
+    * ``"superblock"`` — the same bursts with the superblock compiler fusing
+      hot basic-block runs into specialized Python callables.
     """
     if stepper == "step":
         cpu = make_firmware_loop_cpu()
@@ -73,12 +81,13 @@ def iss_throughput(
                 step()
 
         return instructions / best_of(run)
-    if stepper in ("tick", "block"):
+    if stepper in ("tick", "block", "superblock"):
         cycles = 1 if stepper == "tick" else block_cycles
+        superblocks = stepper == "superblock"
         duration = instructions * CPU_PERIOD
 
         def run() -> None:
-            cpu = make_firmware_loop_cpu()
+            cpu = make_firmware_loop_cpu(superblocks=superblocks)
             kernel = Kernel()
             _CpuBlockDriver(kernel, "cpu.clock", cpu, CPU_PERIOD, cycles)
             kernel.run(duration)
@@ -100,24 +109,39 @@ def bench_iss(smoke: bool = False) -> BenchmarkRecord:
     step_rate = iss_throughput(instructions, "step")
     tick_rate = iss_throughput(instructions, "tick")
     block_rate = iss_throughput(instructions, "block")
+    # The superblock tier is compared against block stepping *at the same
+    # burst size* so the ratio isolates the compiler, not the burst length.
+    # Each timed run starts from a fresh CPU and therefore pays the heat
+    # tracking and compile once; the workload is larger so the steady state
+    # dominates the ratio the way it dominates real campaigns.
+    sb_instructions = 4 * instructions
+    block_long_rate = iss_throughput(sb_instructions, "block", SUPERBLOCK_CYCLES)
+    superblock_rate = iss_throughput(
+        sb_instructions, "superblock", SUPERBLOCK_CYCLES
+    )
     return BenchmarkRecord(
         name="iss",
         metrics={
             "step_instructions_per_second": step_rate,
             "tick_instructions_per_second": tick_rate,
             "block_instructions_per_second": block_rate,
+            "superblock_instructions_per_second": superblock_rate,
             "block_speedup_vs_tick": block_rate / tick_rate,
             "block_speedup_vs_step": block_rate / step_rate,
+            "superblock_speedup_vs_block": superblock_rate / block_long_rate,
         },
         maximize=(
             "step_instructions_per_second",
             "tick_instructions_per_second",
             "block_instructions_per_second",
+            "superblock_instructions_per_second",
             "block_speedup_vs_tick",
             "block_speedup_vs_step",
+            "superblock_speedup_vs_block",
         ),
         meta={**BenchmarkRecord.environment_meta(), "instructions": instructions,
-              "smoke": smoke},
+              "superblock_instructions": sb_instructions,
+              "superblock_cycles": SUPERBLOCK_CYCLES, "smoke": smoke},
     )
 
 
@@ -167,19 +191,127 @@ def bench_platform(smoke: bool = False) -> BenchmarkRecord:
 
     instructions = run()
     wall = best_of(run)
+
+    # Firmware-bound configuration: the CPU spins in the RAM-only
+    # firmware-style loop (no peripheral polling) and the analog subsystem
+    # ticks at a realistic sensor rate (10 us, not one event per CPU cycle),
+    # so the run measures the execution tier itself inside the full platform
+    # — this is where the superblock compiler's >=5x target is checked.
+    firmware_duration = 50e-3 if smoke else 200e-3
+    firmware_timestep = 10e-6
+    firmware_model = abstract_circuit(build_rc_filter(1), "out", firmware_timestep)
+
+    def firmware_run(superblocks: bool) -> "tuple[int, float]":
+        def run_once() -> int:
+            platform = SmartSystemPlatform(
+                firmware=FIRMWARE_STYLE_LOOP,
+                analog_timestep=firmware_timestep,
+                cpu_block_cycles=SUPERBLOCK_CYCLES,
+                cpu_superblocks=superblocks,
+            )
+            platform.attach_analog_python(
+                firmware_model, {"vin": SquareWave(period=40e-6)}
+            )
+            return platform.run(firmware_duration).instructions
+
+        return run_once(), best_of(run_once)
+
+    firmware_instructions, block_wall = firmware_run(False)
+    superblock_instructions, superblock_wall = firmware_run(True)
+    assert firmware_instructions == superblock_instructions, (
+        firmware_instructions,
+        superblock_instructions,
+    )
+    firmware_block_rate = firmware_instructions / block_wall
+    firmware_superblock_rate = firmware_instructions / superblock_wall
     return BenchmarkRecord(
         name="platform",
         # Only the rate is a metric: wall seconds scale with the workload
         # size, which would falsely flag smoke-vs-full comparisons.
-        metrics={"instructions_per_second": instructions / wall},
-        maximize=("instructions_per_second",),
+        metrics={
+            "instructions_per_second": instructions / wall,
+            "firmware_block_instructions_per_second": firmware_block_rate,
+            "firmware_superblock_instructions_per_second": firmware_superblock_rate,
+            "firmware_superblock_speedup": (
+                firmware_superblock_rate / firmware_block_rate
+            ),
+        },
+        maximize=(
+            "instructions_per_second",
+            "firmware_block_instructions_per_second",
+            "firmware_superblock_instructions_per_second",
+            "firmware_superblock_speedup",
+        ),
         meta={
             **BenchmarkRecord.environment_meta(),
             "duration": duration,
             "instructions": instructions,
             "wall_seconds": wall,
+            "firmware_duration": firmware_duration,
+            "firmware_instructions": firmware_instructions,
+            "superblock_cycles": SUPERBLOCK_CYCLES,
             "smoke": smoke,
         },
+    )
+
+
+def bench_analog_batch(smoke: bool = False) -> BenchmarkRecord:
+    """Batch ``step_batch`` throughput: compiled C kernel vs vectorized NumPy.
+
+    The analog tentpole's acceptance metric is ``native_speedup_vs_numpy``
+    (>= 2x on batch workloads).  When the machine has no C toolchain the
+    record carries the NumPy number alone and names the missing dependency
+    in ``meta`` — comparisons simply skip the absent metrics.
+    """
+    from ..circuits import build_rc_filter
+    from ..core import abstract_circuit
+    from ..core.codegen import NativeGenerator, NumpyGenerator, toolchain_error
+
+    timestep = 50e-9
+    order = 8 if smoke else 20
+    scenarios = 64 if smoke else 256
+    steps = 500 if smoke else 2000
+    model = abstract_circuit(build_rc_filter(order), "out", timestep)
+    models = [model] * scenarios
+
+    def batch_rate(instance) -> float:
+        import numpy as np
+
+        drive = np.linspace(0.0, 1.0, scenarios)
+        step_batch = instance.step_batch
+
+        def run() -> None:
+            instance.reset()
+            for index in range(steps):
+                step_batch(drive, (index + 1) * timestep)
+
+        return (steps * scenarios) / best_of(run)
+
+    numpy_rate = batch_rate(NumpyGenerator().generate_batch(models).instantiate())
+    metrics = {"numpy_steps_per_second": numpy_rate}
+    maximize = ["numpy_steps_per_second"]
+    meta = {
+        **BenchmarkRecord.environment_meta(),
+        "order": order,
+        "scenarios": scenarios,
+        "steps": steps,
+        "smoke": smoke,
+    }
+    missing = toolchain_error()
+    if missing is None:
+        native_rate = batch_rate(
+            NativeGenerator().generate_batch(models).instantiate()
+        )
+        metrics["native_steps_per_second"] = native_rate
+        metrics["native_speedup_vs_numpy"] = native_rate / numpy_rate
+        maximize += ["native_steps_per_second", "native_speedup_vs_numpy"]
+    else:
+        meta["native_unavailable"] = missing
+    return BenchmarkRecord(
+        name="analog_batch",
+        metrics=metrics,
+        maximize=tuple(maximize),
+        meta=meta,
     )
 
 
@@ -188,6 +320,7 @@ SUITE: tuple[Callable[[bool], BenchmarkRecord], ...] = (
     bench_iss,
     bench_de_kernel,
     bench_platform,
+    bench_analog_batch,
 )
 
 

@@ -33,6 +33,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.codegen.cache import cache_info
+from ..core.codegen.native_backend import NativeGenerator, toolchain_error
 from ..core.codegen.numpy_backend import NumpyGenerator, structure_signature
 from ..core.codegen.python_backend import compile_model_cached
 from ..core.flow import AbstractionFlow
@@ -242,8 +243,11 @@ def _simulate_batch(
     models: Sequence[SignalFlowModel],
     steps: int,
 ) -> dict[str, np.ndarray]:
-    """Run one structure group through the vectorized NumPy backend."""
-    artifact = NumpyGenerator().generate_batch(models)
+    """Run one structure group through the vectorized NumPy or native backend."""
+    if config.backend == "native":
+        artifact = NativeGenerator().generate_batch(models)
+    else:
+        artifact = NumpyGenerator().generate_batch(models)
     instance = artifact.instantiate()
     dt = float(config.timestep)
     output_names = list(instance.OUTPUTS)
@@ -410,7 +414,7 @@ def _run_chunk(
     signatures: set = set()
 
     start = _time.perf_counter()
-    if config.backend == "numpy":
+    if config.backend in ("numpy", "native"):
         groups: dict[tuple, list[int]] = {}
         for position in pending:
             groups.setdefault(structure_signature(models[position]), []).append(
@@ -460,7 +464,8 @@ def _run_chunk(
                 )
     else:
         raise SweepError(
-            f"unknown sweep backend {config.backend!r}; use 'numpy' or 'python'"
+            f"unknown sweep backend {config.backend!r}; "
+            "use 'numpy', 'native' or 'python'"
         )
     timings["simulate"] = _time.perf_counter() - start
     TRACER.complete(
@@ -515,8 +520,10 @@ class SweepRunner:
     timestep:
         Fixed execution timestep of the generated models.
     backend:
-        ``"numpy"`` (vectorized batches, the default) or ``"python"``
-        (per-scenario scalar classes — the equivalence baseline).
+        ``"numpy"`` (vectorized batches, the default), ``"native"``
+        (cffi-compiled C batch kernels; needs cffi and a C compiler) or
+        ``"python"`` (per-scenario scalar classes — the equivalence
+        baseline).
     workers:
         Number of ``multiprocessing`` workers; ``1`` runs serially.  When a
         pool cannot be used (unpicklable payload, missing ``fork``), the
@@ -558,10 +565,15 @@ class SweepRunner:
             raise ValueError("timestep must be positive")
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        if backend not in ("numpy", "python"):
+        if backend not in ("numpy", "native", "python"):
             raise SweepError(
-                f"unknown sweep backend {backend!r}; use 'numpy' or 'python'"
+                f"unknown sweep backend {backend!r}; "
+                "use 'numpy', 'native' or 'python'"
             )
+        if backend == "native":
+            missing = toolchain_error()
+            if missing:
+                raise SweepError(f"native sweep backend unavailable: {missing}")
         self.factory = factory
         self.outputs = [outputs] if isinstance(outputs, str) else list(outputs)
         self.stimuli = dict(stimuli)

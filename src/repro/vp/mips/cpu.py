@@ -87,6 +87,11 @@ _JAL = 37
 #: needs a per-write "is this register 0" test and ``registers[0]`` stays 0.
 _ZERO_SINK = 32
 
+#: Block-entry heat at which a superblock is compiled (see superblock.py);
+#: bound here so the hot loop reads it as a module global, the authoritative
+#: value lives next to the compiler.
+_SB_THRESHOLD = 4
+
 _R_ALU = {
     0x20: _ADDU, 0x21: _ADDU,
     0x22: _SUBU, 0x23: _SUBU,
@@ -208,6 +213,7 @@ class MipsCpu:
         bus_read: Callable[[int], int] | None = None,
         bus_write: Callable[[int, int], None] | None = None,
         peripheral_base: int = 0x1000_0000,
+        superblocks: bool = True,
     ) -> None:
         self.memory = memory
         self.bus_read = bus_read
@@ -232,6 +238,27 @@ class MipsCpu:
         self.halted = False
         #: Lazily filled decode cache, one slot per RAM word.
         self._decoded: list[tuple | None] = [None] * (memory.size // 4)
+        # Superblock tier (see vp/mips/superblock.py): hot block-entry pcs
+        # are fused into specialized callables.  The generated code reads
+        # RAM through the little-endian word view, so the tier disables
+        # itself on big-endian hosts (the dispatch loop still runs there).
+        self.superblocks = bool(superblocks) and _NATIVE_LITTLE_ENDIAN
+        self.superblock_compile_count = 0
+        self.superblock_hit_count = 0
+        self.superblock_invalidation_count = 0
+        #: entry pc -> (function, length) | False (negative-cache sentinel).
+        self._superblocks: dict[int, object] = {}
+        #: entry pc -> candidate heat (compiled at HEAT_THRESHOLD).
+        self._sb_heat: dict[int, int] = {}
+        #: entry pc -> (first word index, last word index) covered.
+        self._sb_spans: dict[int, tuple[int, int]] = {}
+        #: word index -> set of entry pcs whose superblock covers that word.
+        self._sb_cover: list[set | None] = [None] * (memory.size // 4)
+        # Bumped on every superblock drop; running superblocks compare it
+        # after bus callbacks to detect that they may have been invalidated.
+        self._sb_epoch = 0
+        #: Scratch list through which superblocks flush pc and counters.
+        self._sb_out: list[int] = [0] * 7
         memory.add_write_watcher(self._on_external_write)
 
     # -- register helpers ---------------------------------------------------------------
@@ -260,6 +287,9 @@ class MipsCpu:
         self.block_count = 0
         self.decode_miss_count = 0
         self.decode_invalidation_count = 0
+        self.superblock_compile_count = 0
+        self.superblock_hit_count = 0
+        self.superblock_invalidation_count = 0
         self.halted = False
 
     # -- decode-cache maintenance --------------------------------------------------------
@@ -279,6 +309,49 @@ class MipsCpu:
         invalidated = sum(1 for entry in span if entry is not None)
         self.decode_invalidation_count += invalidated
         decoded[first : last + 1] = [None] * (last - first + 1)
+        if self._sb_spans:
+            for entry_pc, (lo, hi) in list(self._sb_spans.items()):
+                if lo <= last and hi >= first:
+                    self._drop_superblock(entry_pc)
+
+    # -- superblock-cache maintenance ----------------------------------------------------
+    def _drop_superblocks_at(self, word_index: int) -> None:
+        """Drop every superblock whose span covers ``word_index``."""
+        cell = self._sb_cover[word_index]
+        if cell:
+            for entry_pc in tuple(cell):
+                self._drop_superblock(entry_pc)
+
+    def _drop_superblock(self, entry_pc: int) -> None:
+        self._superblocks.pop(entry_pc, None)
+        span = self._sb_spans.pop(entry_pc, None)
+        self.superblock_invalidation_count += 1
+        self._sb_epoch += 1
+        if span is not None:
+            cover = self._sb_cover
+            for index in range(span[0], span[1] + 1):
+                cell = cover[index]
+                if cell is not None:
+                    cell.discard(entry_pc)
+                    if not cell:
+                        cover[index] = None
+
+    def _install_superblock(self, entry_pc: int):
+        """Compile the superblock entered at ``entry_pc`` (lazy import)."""
+        from .superblock import install_superblock
+
+        return install_superblock(self, entry_pc)
+
+    def superblock_stats(self) -> dict[str, int]:
+        """Superblock-tier effectiveness counters (since construction or reset)."""
+        return {
+            "superblocks": sum(
+                1 for entry in self._superblocks.values() if entry is not False
+            ),
+            "superblock_compiles": self.superblock_compile_count,
+            "superblock_hits": self.superblock_hit_count,
+            "superblock_invalidations": self.superblock_invalidation_count,
+        }
 
     def decode_stats(self) -> dict[str, int]:
         """Decode-cache effectiveness counters (since construction or reset).
@@ -370,6 +443,7 @@ class MipsCpu:
         K_BEQ = _BEQ; K_BNE = _BNE; K_BLEZ = _BLEZ; K_BGTZ = _BGTZ  # noqa: E702
         K_J = _J; K_JAL = _JAL  # noqa: E702
         decoded = self._decoded
+        sb_cover = self._sb_cover
         reg = self.registers
         mem = self.memory
         data = mem._data
@@ -391,7 +465,60 @@ class MipsCpu:
         misses = 0
         invalidations = 0
         M = WORD_MASK
+        sb_stop = False
         try:
+            # Superblock tier: at the block entry (and after each superblock
+            # exit, so consecutive compiled regions chain), look the pc up in
+            # the superblock cache; on a miss, heat-count it toward
+            # compilation.  A superblock is only entered while the remaining
+            # budget covers one full pass — the tail of a block, and every
+            # per-tick step() (budget 1), runs through the dispatch loop
+            # below, keeping block-size invariance bit-exact.
+            if self.superblocks and words is not None and max_instructions > 1:
+                sblocks = self._superblocks
+                heat = self._sb_heat
+                cover = self._sb_cover
+                out = self._sb_out
+                hits = 0
+                while executed < max_instructions:
+                    entry = sblocks.get(pc)
+                    if entry is None:
+                        count = heat.get(pc, 0) + 1
+                        if count < _SB_THRESHOLD:
+                            heat[pc] = count
+                            break
+                        heat.pop(pc, None)
+                        entry = self._install_superblock(pc)
+                        if entry is False:
+                            break
+                    elif entry is False:
+                        break
+                    function, length = entry
+                    if max_instructions - executed < length:
+                        break
+                    hits += 1
+                    try:
+                        sb_stop = function(
+                            self, reg, decoded, data, words, cover, mem,
+                            max_instructions, executed, loads, stores,
+                            mem_reads, mem_writes, invalidations, out,
+                        )
+                    finally:
+                        pc = out[0]
+                        executed = out[1]
+                        loads = out[2]
+                        stores = out[3]
+                        mem_reads = out[4]
+                        mem_writes = out[5]
+                        invalidations = out[6]
+                    if sb_stop:
+                        break
+                if hits:
+                    self.superblock_hit_count += hits
+                if sb_stop:
+                    # A peripheral access is pending (or the CPU halted):
+                    # yield the block; the finally clause flushes state.
+                    return executed
             while executed < max_instructions:
                 offset = pc - mbase
                 if 0 <= offset < msize and not offset & 3:
@@ -450,6 +577,8 @@ class MipsCpu:
                         if decoded[index] is not None:
                             decoded[index] = None
                             invalidations += 1
+                        if sb_cover[index] is not None:
+                            self._drop_superblocks_at(index)
                     elif address >= periph:
                         if executed:
                             break
@@ -469,10 +598,14 @@ class MipsCpu:
                         if decoded[index] is not None:
                             decoded[index] = None
                             invalidations += 1
+                        if sb_cover[index] is not None:
+                            self._drop_superblocks_at(index)
                         index = (offset + 3) >> 2
                         if decoded[index] is not None:
                             decoded[index] = None
                             invalidations += 1
+                        if sb_cover[index] is not None:
+                            self._drop_superblocks_at(index)
                     pc += 4
                 elif k == K_ANDI:
                     reg[a] = reg[b] & c
@@ -590,6 +723,8 @@ class MipsCpu:
                         if decoded[index] is not None:
                             decoded[index] = None
                             invalidations += 1
+                        if sb_cover[index] is not None:
+                            self._drop_superblocks_at(index)
                     pc += 4
                 elif k == K_JR:
                     pc = reg[a]

@@ -270,6 +270,7 @@ class SmartSystemPlatform:
         uart_baud: int = 115200,
         record_analog: bool = False,
         cpu_block_cycles: int = 256,
+        cpu_superblocks: bool = True,
     ) -> None:
         self.kernel = Kernel()
         self.analog_timestep = float(analog_timestep)
@@ -292,6 +293,7 @@ class SmartSystemPlatform:
             bus_read=self.bus.read,
             bus_write=self.bus.write,
             peripheral_base=PERIPHERAL_BASE,
+            superblocks=cpu_superblocks,
         )
         self.cpu_block_cycles = int(cpu_block_cycles)
         self._cpu_driver = _CpuBlockDriver(
@@ -500,19 +502,32 @@ class SmartSystemPlatform:
             self.kernel.run(duration)
             return self.snapshot()
         start = tracer.now()
-        instructions_before = self.cpu.instruction_count
+        cpu = self.cpu
+        instructions_before = cpu.instruction_count
+        compiles_before = cpu.superblock_compile_count
+        hits_before = cpu.superblock_hit_count
+        invalidations_before = cpu.superblock_invalidation_count
         self.kernel.run(duration)
         result = self.snapshot()
+        compiles = cpu.superblock_compile_count - compiles_before
+        hits = cpu.superblock_hit_count - hits_before
+        invalidations = cpu.superblock_invalidation_count - invalidations_before
         tracer.end(
             "platform.run",
             start,
             "platform",
             style=self.analog_style,
             instructions=result.instructions - instructions_before,
-            blocks=self.cpu.block_count,
-            decode_misses=self.cpu.decode_miss_count,
-            decode_invalidations=self.cpu.decode_invalidation_count,
+            blocks=cpu.block_count,
+            decode_misses=cpu.decode_miss_count,
+            decode_invalidations=cpu.decode_invalidation_count,
+            superblock_compiles=compiles,
+            superblock_hits=hits,
+            superblock_invalidations=invalidations,
         )
+        tracer.add("iss.superblock.compiles", float(compiles))
+        tracer.add("iss.superblock.hits", float(hits))
+        tracer.add("iss.superblock.invalidations", float(invalidations))
         return result
 
 

@@ -17,10 +17,18 @@ import argparse
 import sys
 from dataclasses import dataclass, field
 
+from ..core.codegen import resolve_backend
 from ..obs import ProgressReporter
 from .catalog import zoo_entries
 from .generate import GeneratorConfig, generate_netlist
-from .oracle import OracleConfig, check_netlist, check_source, shrink, write_reproducer
+from .oracle import (
+    ENGINE_RUNNERS,
+    OracleConfig,
+    check_netlist,
+    check_source,
+    shrink,
+    write_reproducer,
+)
 
 #: The ``--smoke`` campaign size: what CI runs on every push.
 SMOKE_COUNT = 50
@@ -135,7 +143,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=100e-6,
         help="simulated duration per case in seconds (default 100e-6)",
     )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        help=(
+            "comma-separated engine set to compare (default "
+            "python,numpy,de,tdf,mna; add 'native' for the compiled C "
+            "kernel — it degrades to numpy with a warning when no C "
+            "toolchain is present)"
+        ),
+    )
     return parser
+
+
+def _resolve_engines(text: "str | None") -> "tuple[str, ...] | None":
+    """Parse ``--engines``, degrading ``native`` to numpy when unavailable."""
+    if text is None:
+        return None
+    engines = []
+    for name in (part.strip() for part in text.split(",")):
+        if not name:
+            continue
+        if name == "native":
+            name = resolve_backend("native", fallback="numpy")
+        if name not in ENGINE_RUNNERS:
+            raise SystemExit(
+                f"repro-fuzz: unknown engine {name!r}; "
+                f"available: {', '.join(sorted(ENGINE_RUNNERS))}"
+            )
+        if name not in engines:
+            engines.append(name)
+    if len(engines) < 2:
+        raise SystemExit(
+            "repro-fuzz: --engines needs at least two distinct engines"
+        )
+    return tuple(engines)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -145,7 +187,13 @@ def main(argv: "list[str] | None" = None) -> int:
         return 2
     count = max(args.count, SMOKE_COUNT) if args.smoke else args.count
     corpus_dir = None if args.corpus_dir.lower() == "none" else args.corpus_dir
-    config = OracleConfig(tolerance=args.tolerance, duration=args.duration)
+    engines = _resolve_engines(args.engines)
+    if engines is not None:
+        config = OracleConfig(
+            tolerance=args.tolerance, duration=args.duration, engines=engines
+        )
+    else:
+        config = OracleConfig(tolerance=args.tolerance, duration=args.duration)
 
     total = count + (len(zoo_entries()) if args.smoke else 0)
     progress = ProgressReporter(total, "netlists")

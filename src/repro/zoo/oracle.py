@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Mapping
 import numpy as np
 
 from ..core import AbstractionFlow
-from ..core.codegen import NumpyGenerator
+from ..core.codegen import NativeGenerator, NumpyGenerator
 from ..errors import ReproError
 from ..metrics import compare_traces
 from ..network.mna import BACKWARD_EULER
@@ -128,9 +128,8 @@ def _sine_stimuli(inputs: Iterable[str]) -> dict[str, SineWave]:
     }
 
 
-def _run_numpy(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
-    """A batch-of-one through the vectorised backend, as a TraceSet."""
-    instance = NumpyGenerator().generate_batch([model]).instantiate()
+def _run_batch_of_one(instance, stimuli, config: OracleConfig) -> TraceSet:
+    """Drive an instantiated batch artefact (width 1) and record a TraceSet."""
     waveforms = [stimuli[name] for name in instance.INPUTS]
     steps = resolve_steps(config.duration, float(instance.TIMESTEP))
     traces = TraceSet({name: Trace(name) for name in instance.OUTPUTS})
@@ -142,6 +141,18 @@ def _run_numpy(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
         for name, value in zip(instance.OUTPUTS, values):
             traces[name].append(now, float(np.ravel(value)[0]))
     return traces
+
+
+def _run_numpy(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
+    """A batch-of-one through the vectorised backend, as a TraceSet."""
+    instance = NumpyGenerator().generate_batch([model]).instantiate()
+    return _run_batch_of_one(instance, stimuli, config)
+
+
+def _run_native(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
+    """A batch-of-one through the cffi-compiled C kernel, as a TraceSet."""
+    instance = NativeGenerator().generate_batch([model]).instantiate()
+    return _run_batch_of_one(instance, stimuli, config)
 
 
 def _run_python(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
@@ -167,6 +178,7 @@ def _run_mna(model, circuit, stimuli, config: OracleConfig) -> TraceSet:
 ENGINE_RUNNERS: dict[str, EngineRunner] = {
     "python": _run_python,
     "numpy": _run_numpy,
+    "native": _run_native,
     "de": _run_de,
     "tdf": _run_tdf,
     "mna": _run_mna,

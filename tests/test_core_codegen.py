@@ -58,7 +58,14 @@ class TestMangling:
 
 class TestRegistry:
     def test_all_backends_registered(self):
-        assert set(GENERATORS) == {"cpp", "python", "numpy", "systemc_de", "systemc_tdf"}
+        assert set(GENERATORS) == {
+            "cpp",
+            "python",
+            "numpy",
+            "systemc_de",
+            "systemc_tdf",
+            "native",
+        }
 
     def test_get_generator(self):
         assert isinstance(get_generator("cpp"), CppGenerator)

@@ -10,7 +10,7 @@ import pytest
 
 from repro.circuits import build_rc_filter, paper_benchmarks, rc_filter_source
 from repro.core import AbstractionFlow, abstract_circuit
-from repro.core.codegen import NumpyGenerator
+from repro.core.codegen import NativeGenerator, NumpyGenerator, toolchain_error
 from repro.errors import SimulationError
 from repro.metrics import compare_traces, nrmse
 from repro.sim import (
@@ -148,7 +148,12 @@ class TestReferenceSimulator:
 #: The four fixed-timestep engines that must agree to numerical precision:
 #: they all advance the *same* abstracted signal-flow recursion, so any
 #: disagreement beyond time-quantisation noise is an integration-layer bug.
-MATRIX_ENGINES = ("python", "numpy-batch", "de", "tdf")
+#: The compiled-C engine joins the matrix wherever cffi and a C compiler
+#: exist (the CI native-smoke job guarantees at least one such environment).
+NATIVE_AVAILABLE = toolchain_error() is None
+MATRIX_ENGINES = ("python", "numpy-batch", "de", "tdf") + (
+    ("native",) if NATIVE_AVAILABLE else ()
+)
 MATRIX_DURATION = 100e-6
 #: Pairwise agreement bound.  Smooth (sine) stimuli make the comparison
 #: independent of where a square-wave edge lands on the femtosecond event
@@ -167,7 +172,16 @@ def _matrix_stimuli(model) -> dict:
 
 def _run_numpy_batch(model, stimuli, duration) -> TraceSet:
     """Run a batch-of-one through the vectorized backend, as a TraceSet."""
-    instance = NumpyGenerator().generate_batch([model]).instantiate()
+    return _run_batch(NumpyGenerator().generate_batch([model]), stimuli, duration)
+
+
+def _run_native_batch(model, stimuli, duration) -> TraceSet:
+    """Run a batch-of-one through the compiled-C backend, as a TraceSet."""
+    return _run_batch(NativeGenerator().generate_batch([model]), stimuli, duration)
+
+
+def _run_batch(artifact, stimuli, duration) -> TraceSet:
+    instance = artifact.instantiate()
     waveforms = [stimuli[name] for name in instance.INPUTS]
     steps = resolve_steps(duration, float(instance.TIMESTEP))
     traces = TraceSet({name: Trace(name) for name in instance.OUTPUTS})
@@ -207,6 +221,8 @@ class TestCrossEngineMatrix:
                 "de": run_de_model(model, stimuli, MATRIX_DURATION),
                 "tdf": run_tdf_model(model, stimuli, MATRIX_DURATION),
             }
+            if NATIVE_AVAILABLE:
+                runs["native"] = _run_native_batch(model, stimuli, MATRIX_DURATION)
             for engine, run in runs.items():
                 traces[(bench.name, engine)] = run[output]
         return traces
