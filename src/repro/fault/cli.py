@@ -169,6 +169,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "(inspect with repro-trace or chrome://tracing)",
     )
     parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML dashboard of the campaign "
+        "(implies telemetry collection; see repro-report)",
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="FILE",
@@ -218,7 +225,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ),
         seed=arguments.seed,
     )
-    trace = bool(arguments.trace or arguments.telemetry)
+    trace = bool(arguments.trace or arguments.telemetry or arguments.report)
     runner = FaultCampaignRunner(
         bench.build,
         bench.output,
@@ -272,6 +279,17 @@ def main(argv: "list[str] | None" = None) -> int:
         with open(arguments.csv, "w") as handle:
             handle.write(result.to_csv() + "\n")
         print(f"wrote {arguments.csv}")
+    if arguments.report:
+        from ..report import Dashboard, fault_section, telemetry_section
+
+        dashboard = Dashboard(
+            title=f"Fault campaign — {bench.name}",
+            subtitle=f"{total} runs, {duration:g} s each",
+        )
+        dashboard.add(fault_section(result))
+        if result.telemetry is not None:
+            dashboard.add(telemetry_section(result.telemetry))
+        print(f"wrote {dashboard.write(arguments.report)}")
     if trace and result.telemetry is not None:
         if arguments.trace:
             write_trace_json(arguments.trace, result.telemetry)

@@ -125,6 +125,14 @@ def to_html(report: TelemetryReport) -> str:
         f"<td>{stats['total']:.3f}</td><td>{1e3 * stats['mean']:.2f}</td></tr>"
         for name, stats in report.span_stats().items()
     )
+    truncation = ""
+    if report.dropped:
+        truncation = (
+            f"<p><strong>WARNING — telemetry truncated:</strong> the tracer "
+            f"dropped {report.dropped} event(s) at its buffer cap; span "
+            f"tallies are partial. Raise <code>max_events</code> to capture "
+            f"everything.</p>"
+        )
     return f"""<!doctype html>
 <html lang="en">
 <head>
@@ -139,6 +147,7 @@ th {{ background: #eef; }}
 </head>
 <body>
 <h1>Telemetry — {html.escape(report.engine)}</h1>
+{truncation}
 <h2>Summary</h2>
 <table>{summary_rows}</table>
 <h2>Counters</h2>
@@ -156,6 +165,108 @@ def write_html(path: "str | Path", report: TelemetryReport) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(to_html(report), encoding="utf-8")
     return path
+
+
+# -- re-import -------------------------------------------------------------------------
+def report_from_trace(payload: object) -> TelemetryReport:
+    """Rebuild a :class:`TelemetryReport` from an exported trace payload.
+
+    The inverse of :func:`to_trace_events`, up to what the format keeps:
+    event timestamps come back rebased (relative seconds), per-scenario
+    latencies are gone (only their percentiles were exported, inside the
+    summary), and the headline numbers are recovered from the
+    ``metadata.repro`` summary block when present.  This is what lets
+    ``repro-report`` render a span timeline from a trace *file* long after
+    the campaign process is gone.
+    """
+    events: list = []
+    metadata: dict = {}
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents") or []
+        meta = payload.get("metadata")
+        if isinstance(meta, dict) and isinstance(meta.get("repro"), dict):
+            metadata = meta["repro"]
+    elif isinstance(payload, list):
+        events = payload
+    counters: dict[str, float] = {}
+    normalized: list[dict] = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        phase = event.get("ph")
+        if phase == "C":
+            for name, value in (event.get("args") or {}).items():
+                counters[name] = float(value)
+            continue
+        if phase not in ("X", "i", "I"):
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        normalized.append(
+            {
+                "ph": "i" if phase == "I" else phase,
+                "name": str(event.get("name", "")),
+                "cat": str(event.get("cat", "")),
+                "ts": float(ts) / 1e6,
+                "dur": float(event.get("dur", 0.0)) / 1e6,
+                "args": event.get("args") if isinstance(event.get("args"), dict) else None,
+                "pid": int(event["pid"]) if isinstance(event.get("pid"), int) else 0,
+            }
+        )
+    normalized.sort(key=lambda event: event["ts"])
+    report = TelemetryReport(
+        engine=str(metadata.get("engine", "trace")),
+        scenarios=int(metadata.get("scenarios", 0)),
+        executed=int(metadata.get("executed", 0)),
+        loaded=int(metadata.get("loaded", 0)),
+        wall=float(metadata.get("wall_seconds", 0.0)),
+        workers=int(metadata.get("workers", 1)),
+        counters=counters,
+        events=normalized,
+        dropped=int(metadata.get("dropped_events", 0)),
+    )
+    return report
+
+
+def report_from_jsonl(text: str) -> TelemetryReport:
+    """Rebuild a :class:`TelemetryReport` from a :func:`to_jsonl` dump."""
+    summary: dict = {}
+    counters: dict[str, float] = {}
+    events: list[dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        kind = entry.get("kind")
+        if kind == "summary":
+            summary = entry
+        elif kind == "counter":
+            counters[str(entry["name"])] = float(entry["value"])
+        elif kind == "event":
+            events.append(
+                {
+                    "ph": entry.get("ph", "i"),
+                    "name": str(entry.get("name", "")),
+                    "cat": str(entry.get("cat", "")),
+                    "ts": float(entry.get("ts", 0.0)),
+                    "dur": float(entry.get("dur", 0.0)),
+                    "args": entry.get("args"),
+                    "pid": int(entry.get("pid", 0)),
+                }
+            )
+    events.sort(key=lambda event: event["ts"])
+    return TelemetryReport(
+        engine=str(summary.get("engine", "trace")),
+        scenarios=int(summary.get("scenarios", 0)),
+        executed=int(summary.get("executed", 0)),
+        loaded=int(summary.get("loaded", 0)),
+        wall=float(summary.get("wall_seconds", 0.0)),
+        workers=int(summary.get("workers", 1)),
+        counters=counters,
+        events=events,
+        dropped=int(summary.get("dropped_events", 0)),
+    )
 
 
 # -- validation ------------------------------------------------------------------------

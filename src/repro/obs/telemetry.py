@@ -219,7 +219,14 @@ class TelemetryReport:
         if self.store_hit_rate is not None:
             lines.append(f"- store hit rate: {100.0 * self.store_hit_rate:.1f} %")
         if self.dropped:
-            lines.append(f"- dropped events: {self.dropped} (raise `max_events`)")
+            lines.append("")
+            lines.append(
+                f"**WARNING — telemetry truncated:** the tracer hit its event "
+                f"buffer cap and dropped {self.dropped} event(s); the span "
+                f"tallies below are partial and undercount the campaign. "
+                f"Raise `max_events` to capture everything. (Counters are "
+                f"unaffected — they accumulate outside the event buffer.)"
+            )
         if self.counters:
             lines.append("")
             lines.append("## Counters")

@@ -19,9 +19,12 @@ suite run finishes only the missing workloads.
 
 ``--publish`` additionally snapshots the fresh records as ``BENCH_*.json``
 files in the repository root (records carry the git commit and dirty flag,
-so a published snapshot names the exact tree it measured), and
-``--trace``/``--telemetry`` collect :mod:`repro.obs` telemetry of the suite
-run itself.
+so a published snapshot names the exact tree it measured) *and* appends
+each record as one JSONL line to ``benchmarks/history/<name>.jsonl`` —
+the cross-commit series ``repro-report`` renders as trend lines.
+``--trace``/``--telemetry`` collect :mod:`repro.obs` telemetry of the
+suite run itself, and ``--report out.html`` writes a self-contained HTML
+dashboard of the fresh records merged with that history.
 """
 
 from __future__ import annotations
@@ -178,6 +181,13 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
         "(implies telemetry collection)",
     )
     parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML dashboard of the fresh records "
+        "merged with benchmarks/history/ trend lines (see repro-report)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the per-metric detail lines and telemetry summary",
@@ -253,10 +263,36 @@ def main(argv: "list[str] | None" = None, default_out: str = DEFAULT_BASELINE_DI
             )
 
     if arguments.publish:
-        published = BaselineStore(repo_root())
+        from ..report.history import DEFAULT_HISTORY_DIR, append_history
+
+        root = repo_root()
+        published = BaselineStore(root)
+        history_directory = root / DEFAULT_HISTORY_DIR
         for record in records:
             path = published.save(record)
             print(f"  published {path}")
+            history = append_history(record, history_directory)
+            print(f"  appended {history}")
+
+    if arguments.report:
+        from ..report import Dashboard, bench_section
+        from ..report.history import (
+            DEFAULT_HISTORY_DIR,
+            load_history,
+            merge_latest,
+        )
+
+        history_directory = repo_root() / DEFAULT_HISTORY_DIR
+        history = (
+            load_history(history_directory) if history_directory.exists() else {}
+        )
+        series = merge_latest(history, {record.name: record for record in records})
+        dashboard = Dashboard(
+            title="Benchmark trends",
+            subtitle=f"{'smoke' if arguments.smoke else 'full'} workloads",
+        )
+        dashboard.add(bench_section(series, tolerance=arguments.tolerance))
+        print(f"wrote {dashboard.write(arguments.report)}")
 
     if arguments.compare:
         regressions, missing = store.compare(records, tolerance=arguments.tolerance)

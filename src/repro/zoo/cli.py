@@ -144,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated duration per case in seconds (default 100e-6)",
     )
     parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML dashboard of the campaign "
+        "(see repro-report)",
+    )
+    parser.add_argument(
         "--engines",
         default=None,
         help=(
@@ -207,6 +214,16 @@ def main(argv: "list[str] | None" = None) -> int:
         log=sys.stderr,
     )
     progress.finish()
+
+    if args.report:
+        from ..report import Dashboard, fuzz_section
+
+        dashboard = Dashboard(
+            title="Differential fuzzing",
+            subtitle=f"seed {report.seed}, {len(config.engines)} engines",
+        )
+        dashboard.add(fuzz_section(report))
+        print(f"wrote {dashboard.write(args.report)}")
 
     if report.ok:
         print(

@@ -237,6 +237,77 @@ class TestExport:
         payload = json.loads(path.read_text())
         assert validate_trace_events(payload) == []
 
+    def test_validation_edge_cases_name_the_offending_event(self):
+        def problems(event) -> str:
+            return "\n".join(validate_trace_events([event]))
+
+        # unknown phase
+        assert "invalid phase 'Z'" in problems(
+            {"ph": "Z", "name": "a", "ts": 0, "pid": 1, "tid": 1}
+        )
+        # negative timestamp
+        assert "'ts' must be a non-negative number" in problems(
+            {"ph": "i", "name": "a", "ts": -1.0, "pid": 1, "tid": 1}
+        )
+        # missing timestamp
+        assert "'ts' must be a non-negative number" in problems(
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1}
+        )
+        # non-dict event names its index
+        report = validate_trace_events([{"ph": "i", "name": "a", "ts": 0}, "junk"])
+        assert any("event[1]: not an object" in problem for problem in report)
+        # non-integer pid/tid
+        assert "'pid' must be an integer" in problems(
+            {"ph": "i", "name": "a", "ts": 0, "pid": "one"}
+        )
+        # complete event without a duration
+        assert "non-negative 'dur'" in problems(
+            {"ph": "X", "name": "a", "ts": 0, "pid": 1, "tid": 1}
+        )
+        # counter without args
+        assert "needs an 'args' object" in problems(
+            {"ph": "C", "name": "a", "ts": 0, "pid": 1, "tid": 1}
+        )
+
+    def test_truncation_warning_in_markdown_and_html(self):
+        from dataclasses import replace
+
+        from repro.obs.export import to_html
+
+        complete = self.report()
+        assert "truncated" not in complete.to_markdown()
+        assert "truncated" not in to_html(complete)
+        truncated = replace(complete, dropped=41)
+        for text in (truncated.to_markdown(), to_html(truncated)):
+            assert "WARNING — telemetry truncated" in text
+            assert "41 event(s)" in text
+            assert "max_events" in text
+
+    def test_report_round_trips_through_trace_export(self):
+        from repro.obs.export import report_from_trace
+
+        original = self.report()
+        recovered = report_from_trace(to_trace_events(original))
+        assert recovered.engine == original.engine
+        assert recovered.executed == original.executed
+        assert recovered.counters == original.counters
+        assert len(recovered.events) == len(original.events)
+        assert recovered.span_stats().keys() == original.span_stats().keys()
+        # durations survive the µs round-trip to within rounding
+        assert recovered.span_stats()["platform.run"]["total"] == pytest.approx(
+            original.span_stats()["platform.run"]["total"], abs=1e-6
+        )
+
+    def test_report_round_trips_through_jsonl(self):
+        from repro.obs.export import report_from_jsonl, to_jsonl
+
+        original = self.report()
+        recovered = report_from_jsonl(to_jsonl(original))
+        assert recovered.engine == original.engine
+        assert recovered.counters == original.counters
+        assert recovered.span_stats() == original.span_stats()
+        assert recovered.dropped == original.dropped
+
 
 class TestZeroOverheadGuarantee:
     def test_cross_engine_matrix_unchanged_by_tracing(self):
