@@ -223,6 +223,24 @@ class Variable(Expr):
         return ("var", self.name)
 
 
+class Access(Variable):
+    """A :class:`Variable` produced by a Verilog-AMS access function.
+
+    ``Access("I(br)", "I")`` behaves exactly like ``Variable("I(br)")`` for
+    equality, hashing, substitution and simplification (the structural key is
+    inherited), but additionally records which access *kind* produced it —
+    ``"V"`` (potential) or ``"I"`` (flow).  Consumers such as
+    :mod:`repro.vams.classify` use the kind instead of string-matching the
+    rendered name, which is spacing- and aliasing-safe.
+    """
+
+    __slots__ = ("kind",)
+
+    def __init__(self, name: str, kind: str) -> None:
+        super().__init__(name)
+        self.kind = kind
+
+
 class Previous(Expr):
     """The value a quantity had one timestep earlier (``x`` at ``t - dt``).
 

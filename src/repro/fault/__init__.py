@@ -65,6 +65,7 @@ from .models import (
 from .report import (
     VERDICT_CRASH,
     VERDICT_DETECTED,
+    VERDICT_LINT,
     VERDICT_SILENT,
     VERDICT_TRACE,
     VERDICTS,
@@ -100,6 +101,7 @@ __all__ = [
     "VERDICTS",
     "VERDICT_CRASH",
     "VERDICT_DETECTED",
+    "VERDICT_LINT",
     "VERDICT_SILENT",
     "VERDICT_TRACE",
     "analog_fault_universe",

@@ -132,15 +132,31 @@ class FaultableCircuitFactory:
     carry :data:`FAULT_PARAM`, the corresponding netlist transform runs on
     the freshly built circuit.  Module-level and dataclass-based so the whole
     recipe pickles into worker processes.
+
+    With ``lint`` set, every built circuit (golden and mutated alike) runs
+    through the netlist semantic linter *after* the fault is applied; an
+    error diagnostic raises :class:`repro.lint.LintError`, which the
+    error-capturing platform worker records as a crash whose message the
+    verdict classifier maps to ``lint-rejected`` — the mutant is skipped
+    with a verdict instead of executing a non-physical circuit.
     """
 
     base: Callable[..., Circuit]
     faults: dict[str, AnalogFault] = field(default_factory=dict)
+    lint: bool = False
 
     def __call__(self, _fault: str = "", **params) -> Circuit:
         circuit = self.base(**params)
         if _fault:
             self.faults[_fault].apply(circuit)
+        if self.lint:
+            from ..lint import LintError, lint_circuit
+
+            report = lint_circuit(
+                circuit, file=f"<fault:{_fault}>" if _fault else "<golden>"
+            )
+            if not report.ok:
+                raise LintError(report)
         return circuit
 
     def store_fingerprint(self) -> list:
@@ -248,6 +264,11 @@ class FaultCampaignRunner:
     ``interrupt_after`` is the crash-simulation hook used by the resume
     tests and the CI smoke job (see
     :class:`~repro.sweep.platform.PlatformSweepRunner`).
+
+    ``lint`` enables the strict static-analysis gate: every built circuit is
+    run through :func:`repro.lint.lint_circuit` after its fault is applied,
+    and a mutant the linter rejects is skipped with the ``lint-rejected``
+    verdict instead of simulating a non-physical circuit.
     """
 
     def __init__(
@@ -268,6 +289,7 @@ class FaultCampaignRunner:
         interrupt_after: "int | None" = None,
         trace: "bool | None" = None,
         progress: "bool | None" = None,
+        lint: bool = False,
     ) -> None:
         if nrmse_threshold <= 0.0:
             raise FaultError("the NRMSE divergence threshold must be positive")
@@ -287,6 +309,7 @@ class FaultCampaignRunner:
         self.interrupt_after = interrupt_after
         self.trace = trace
         self.progress = progress
+        self.lint = bool(lint)
 
     def run(self, spec: FaultCampaignSpec, duration: float) -> FaultCampaignResult:
         """Execute every run of ``spec`` for ``duration`` seconds each."""
@@ -304,7 +327,7 @@ class FaultCampaignRunner:
                 )
         scenarios = [self._as_scenario(position, run) for position, run in enumerate(runs)]
         runner = PlatformSweepRunner(
-            FaultableCircuitFactory(self.factory, spec.analog_faults()),
+            FaultableCircuitFactory(self.factory, spec.analog_faults(), lint=self.lint),
             self.output,
             self.stimuli,
             timestep=self.timestep,

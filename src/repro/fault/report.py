@@ -45,12 +45,22 @@ from ..vp.platform import PlatformRunResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign imports us)
     from .campaign import FaultRun
 
-#: The four verdicts, in increasing severity order.
+#: The five verdicts, in increasing severity order.  ``lint-rejected`` is
+#: the strict static-analysis gate (``lint=True`` on the campaign runner):
+#: the faulted circuit never executed because :mod:`repro.lint` found an
+#: error in it, so the mutant is skipped-with-verdict rather than crashed.
 VERDICT_SILENT = "silent"
 VERDICT_TRACE = "trace-divergent"
 VERDICT_DETECTED = "firmware-detected"
+VERDICT_LINT = "lint-rejected"
 VERDICT_CRASH = "crash"
-VERDICTS = (VERDICT_SILENT, VERDICT_TRACE, VERDICT_DETECTED, VERDICT_CRASH)
+VERDICTS = (
+    VERDICT_SILENT,
+    VERDICT_TRACE,
+    VERDICT_DETECTED,
+    VERDICT_LINT,
+    VERDICT_CRASH,
+)
 
 
 def trace_nrmse(
@@ -80,6 +90,8 @@ def classify_run(
     """Classify one faulted run; returns ``(verdict, nrmse, detail)``."""
     error = trace_nrmse(golden, faulted)
     if faulted.crashed is not None:
+        if faulted.crashed.startswith("LintError"):
+            return VERDICT_LINT, error, faulted.crashed
         return VERDICT_CRASH, error, faulted.crashed
     if faulted.uart_output != golden.uart_output:
         return (

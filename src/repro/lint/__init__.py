@@ -1,0 +1,64 @@
+"""Static analysis for the whole reproduction stack.
+
+Three layers share one diagnostic model (:class:`Diagnostic`):
+
+* **Layer 1 — netlist semantic lint** (:mod:`repro.lint.netlist_rules`):
+  topology and value checks over Verilog-AMS modules, generated zoo
+  netlists and typed circuits, *before* the solver sees them.
+* **Layer 2 — codegen artifact verification**
+  (:mod:`repro.lint.artifact_rules`): contract checks over the signal-flow
+  IR and the emitted python/numpy and native-C sources, *before* they run.
+* **Layer 3 — determinism self-lint** (:mod:`repro.lint.selfcheck`): a
+  Python AST walker over ``src/repro`` itself flagging reproducibility
+  hazards (unseeded RNGs, wall clocks in key paths, non-atomic writes,
+  order-dependent digests, bare ``except``).
+
+The ``repro-lint`` command line front-end lives in :mod:`repro.lint.cli`.
+"""
+
+from .artifact_rules import (
+    lint_artifact,
+    lint_c_source,
+    lint_model,
+    lint_python_source,
+)
+from .baseline import baseline_keys, load_baseline, write_baseline
+from .diagnostics import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    LintError,
+    LintReport,
+)
+from .emit import from_json, to_json, to_markdown, to_text
+from .netlist_rules import lint_circuit, lint_module, lint_netlist, lint_source
+from .selfcheck import lint_repo, lint_python_file
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "baseline_keys",
+    "from_json",
+    "lint_artifact",
+    "lint_c_source",
+    "lint_circuit",
+    "lint_model",
+    "lint_module",
+    "lint_netlist",
+    "lint_python_file",
+    "lint_python_source",
+    "lint_repo",
+    "lint_source",
+    "load_baseline",
+    "to_json",
+    "to_markdown",
+    "to_text",
+    "write_baseline",
+]

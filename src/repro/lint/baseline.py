@@ -1,0 +1,44 @@
+"""Baseline (suppression) files: existing debt must not block CI.
+
+A baseline is a JSON file listing suppression keys
+(``file::rule::message``, see :meth:`Diagnostic.key`).  ``repro-lint
+--baseline FILE`` subtracts those keys before deciding the exit status, so
+adopting a new rule never breaks the build for pre-existing findings;
+``--write-baseline FILE`` records the current findings as accepted debt.
+The determinism self-lint is expected to hold with an *empty* baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..store.atomic import atomic_write_text
+from .diagnostics import LintReport
+
+
+def baseline_keys(report: LintReport) -> list[str]:
+    """The sorted, de-duplicated suppression keys of a report."""
+    return sorted({diagnostic.key() for diagnostic in report.diagnostics})
+
+
+def write_baseline(path: "str | Path", report: LintReport) -> Path:
+    """Persist the report's keys as an accepted-debt baseline file."""
+    path = Path(path)
+    payload = {"version": 1, "suppress": baseline_keys(report)}
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: "str | Path | None") -> frozenset[str]:
+    """Load suppression keys; a missing or ``None`` path is an empty baseline."""
+    if path is None:
+        return frozenset()
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    payload = json.loads(path.read_text())
+    keys = payload.get("suppress", [])
+    if not isinstance(keys, list):
+        raise ValueError(f"malformed baseline file {path}: 'suppress' must be a list")
+    return frozenset(str(key) for key in keys)

@@ -7,6 +7,8 @@ adds one section to the dashboard:
   campaign directory (record census by engine + stored-ADC envelope);
 - ``--telemetry FILE``: a Chrome ``trace_event`` JSON file or a telemetry
   JSONL dump (span timeline, counters, latency percentiles);
+- ``--lint FILE``: a ``repro-lint --json`` findings report (severity
+  tiles, rule × severity matrix, per-file and per-finding tables);
 - ``--bench DIR``: a directory of ``BENCH_<name>.json`` snapshots;
 - ``--history DIR``: a ``benchmarks/history`` directory of per-benchmark
   JSONL files — merged with the snapshots into cross-commit trend lines
@@ -41,6 +43,7 @@ from .history import DEFAULT_HISTORY_DIR, load_history, merge_latest
 from .sections import (
     bench_section,
     fault_section,
+    lint_section,
     store_section,
     telemetry_section,
 )
@@ -144,6 +147,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="render BENCH_*.json snapshots from this directory (repeatable)",
     )
     parser.add_argument(
+        "--lint",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="render a repro-lint JSON report (written by repro-lint --json; "
+        "repeatable)",
+    )
+    parser.add_argument(
         "--history",
         default=None,
         metavar="DIR",
@@ -214,6 +225,19 @@ def main(argv: "list[str] | None" = None) -> int:
             f"telemetry-{index}" if len(arguments.telemetry) > 1 else "telemetry"
         )
         dashboard.add(telemetry_section(report, slug=slug))
+        anchors.append(slug)
+
+    for index, file_name in enumerate(arguments.lint):
+        path = Path(file_name)
+        try:
+            from ..lint import from_json
+
+            report = from_json(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"repro-report: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        slug = f"lint-{index}" if len(arguments.lint) > 1 else "lint"
+        dashboard.add(lint_section(report, slug=slug))
         anchors.append(slug)
 
     latest = {}

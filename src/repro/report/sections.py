@@ -399,6 +399,69 @@ def fuzz_section(report, slug: str = "fuzz") -> Section:
     return Section(slug, "Differential fuzzing", "".join(parts))
 
 
+# -- static analysis -------------------------------------------------------------------
+def lint_section(report, slug: str = "lint") -> Section:
+    """A :class:`~repro.lint.LintReport`: severity tiles, rule matrix, files.
+
+    Fed either live or from the JSON the ``repro-lint --json`` emitter
+    writes (``repro-report --lint findings.json``).  The rule × severity
+    matrix reuses the fault-coverage table; severities carry their own
+    status hues in :data:`~repro.report.svg.VERDICT_STATUS`.
+    """
+    from ..lint.diagnostics import SEVERITIES
+
+    counts = report.counts()
+    tiles = [
+        stat_tile("Findings", str(len(report)), report.summary()),
+        stat_tile("Errors", str(counts["error"])),
+        stat_tile("Warnings", str(counts["warning"])),
+        stat_tile("Files affected", str(len(report.files()))),
+    ]
+    parts = [tile_row(tiles)]
+    if not report.ok:
+        parts.append(
+            warning_banner(
+                f"{counts['error']} error-severity finding(s) — the strict "
+                "gates (fuzz oracle, lint-enabled campaigns, CI) fail on these"
+            )
+        )
+    if report:
+        parts.append(
+            coverage_matrix_table(
+                report.matrix(), SEVERITIES, caption="Findings by rule × severity"
+            )
+        )
+        per_file: dict[str, dict[str, int]] = {}
+        for diagnostic in report:
+            row = per_file.setdefault(
+                diagnostic.file, {severity: 0 for severity in SEVERITIES}
+            )
+            row[diagnostic.severity] += 1
+        parts.append(
+            data_table(
+                ["file", *SEVERITIES],
+                [
+                    [file, *[str(row[severity]) for severity in SEVERITIES]]
+                    for file, row in sorted(per_file.items())
+                ],
+                caption="Findings per file",
+            )
+        )
+        parts.append(
+            data_table(
+                ["location", "severity", "rule", "message", "hint"],
+                [
+                    [d.location(), d.severity, d.rule, d.message, d.hint]
+                    for d in report
+                ],
+                caption="All findings",
+            )
+        )
+    else:
+        parts.append('<p class="sub">no findings — the linted set is clean</p>')
+    return Section(slug, "Static analysis", "".join(parts))
+
+
 # -- run stores ------------------------------------------------------------------------
 def store_section(store, slug: str = "store") -> Section:
     """A :class:`~repro.store.RunStore` directory: record census + envelope.

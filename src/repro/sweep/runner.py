@@ -161,6 +161,10 @@ class SweepConfig:
     #: Enable the worker-local tracer and return a telemetry payload with
     #: the chunk results (see :mod:`repro.obs`).
     trace: bool = False
+    #: Strict static-analysis gate: lint every abstracted model before it is
+    #: simulated and raise :class:`repro.lint.LintError` on any error
+    #: diagnostic (see :mod:`repro.lint.artifact_rules`).
+    lint: bool = False
 
 
 def _scenario_store_inputs(config: SweepConfig, scenario: Scenario) -> dict:
@@ -400,6 +404,22 @@ def _run_chunk(
         "sweep.abstract", start, timings["abstract"], "sweep", scenarios=len(pending)
     )
 
+    if config.lint and pending:
+        from ..lint import LintError, lint_model
+
+        lint_report = None
+        for position in pending:
+            scenario_report = lint_model(
+                models[position],
+                file=f"<scenario:{scenarios[position].describe()}>",
+            )
+            if lint_report is None:
+                lint_report = scenario_report
+            else:
+                lint_report.extend(scenario_report)
+        if lint_report is not None and not lint_report.ok:
+            raise LintError(lint_report)
+
     try:
         steps = resolve_steps(config.duration, config.timestep)
     except SimulationError as exc:
@@ -544,6 +564,10 @@ class SweepRunner:
     progress:
         Render a live throttled progress line on stderr.  ``None`` (the
         default) shows it only when stderr is a terminal.
+    lint:
+        Strict static-analysis gate: run the codegen artifact verifier
+        (:mod:`repro.lint`) over every abstracted model before simulating
+        and raise :class:`~repro.lint.LintError` on any error diagnostic.
     """
 
     def __init__(
@@ -560,6 +584,7 @@ class SweepRunner:
         resume: bool = False,
         trace: "bool | None" = None,
         progress: "bool | None" = None,
+        lint: bool = False,
     ) -> None:
         if timestep <= 0.0:
             raise ValueError("timestep must be positive")
@@ -588,6 +613,7 @@ class SweepRunner:
         self.resume = bool(resume)
         self.trace = trace
         self.progress = progress
+        self.lint = bool(lint)
 
     # -- execution ---------------------------------------------------------------------
     def run(
@@ -619,6 +645,7 @@ class SweepRunner:
             store_dir=str(self.store.directory) if self.store is not None else None,
             resume=self.resume,
             trace=tracing_enabled() if self.trace is None else bool(self.trace),
+            lint=self.lint,
         )
 
         reporter = ProgressReporter(

@@ -27,20 +27,34 @@ FLOW = "I"
 
 @dataclass
 class Port:
-    """A module port with its direction and (optional) discipline."""
+    """A module port with its direction and (optional) discipline.
+
+    ``line``/``column`` are the 1-based source position of the name in the
+    declaration (0 when the node was built programmatically).
+    """
 
     name: str
     direction: str = INOUT
     discipline: str | None = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
 class Parameter:
-    """A ``parameter real`` declaration with its default value."""
+    """A ``parameter real`` declaration with its default value.
+
+    ``uses`` records the names the default expression referenced before it
+    was folded to a constant (``parameter real tau = R * C;`` uses ``R`` and
+    ``C``) — the linter needs them for unused-parameter analysis.
+    """
 
     name: str
     value: float
     kind: str = "real"
+    line: int = 0
+    column: int = 0
+    uses: tuple[str, ...] = ()
 
 
 @dataclass
@@ -50,6 +64,8 @@ class BranchDeclaration:
     name: str
     positive: str
     negative: str
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -64,6 +80,8 @@ class AccessRef:
     positive: str | None = None
     negative: str | None = None
     branch: str | None = None
+    line: int = 0
+    column: int = 0
 
     def canonical_name(self) -> str:
         """Return the canonical variable name used by the expression engine."""
@@ -86,6 +104,8 @@ class Contribution(AnalogStatement):
 
     target: AccessRef
     expression: Expr
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -94,6 +114,8 @@ class Assignment(AnalogStatement):
 
     name: str
     expression: Expr
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -103,6 +125,8 @@ class IfStatement(AnalogStatement):
     condition: Expr
     then_branch: list[AnalogStatement] = field(default_factory=list)
     else_branch: list[AnalogStatement] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -125,6 +149,10 @@ class VamsModule:
     branches: list[BranchDeclaration] = field(default_factory=list)
     real_variables: list[str] = field(default_factory=list)
     analog: list[AnalogStatement] = field(default_factory=list)
+    #: 1-based (line, column) of each declared name — nets, real variables and
+    #: grounds — keyed by name.  Populated by the parser; empty for modules
+    #: built programmatically.  Used by the linter for positioned diagnostics.
+    declaration_positions: dict[str, tuple[int, int]] = field(default_factory=dict)
 
     # -- convenience queries -------------------------------------------------------
     def port_names(self) -> list[str]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..expr.ast import Access
 from .ast import FLOW, Contribution, VamsModule
 
 #: Model categories.
@@ -20,10 +21,20 @@ MIXED = "mixed"
 
 
 def _references_flow(contribution: Contribution) -> bool:
-    """True when the statement reads or drives a flow (current) quantity."""
+    """True when the statement reads or drives a flow (current) quantity.
+
+    Flow *reads* are detected structurally, via the :class:`~repro.expr.ast.Access`
+    nodes the parser builds for access-function references — not by matching
+    the rendered variable name, which would be confused by spacing in the
+    source (``I (br)``) or by ordinary identifiers that merely start with
+    ``I(``-like prefixes.
+    """
     if contribution.target.kind == FLOW:
         return True
-    return any(name.startswith("I(") for name in contribution.expression.variables())
+    return any(
+        isinstance(node, Access) and node.kind == FLOW
+        for node in contribution.expression.walk()
+    )
 
 
 def classify_contribution(contribution: Contribution) -> str:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..errors import VamsParseError
 from ..expr.ast import (
     KNOWN_FUNCTIONS,
+    Access,
     BinaryOp,
     Call,
     Conditional,
@@ -120,8 +121,15 @@ class Parser:
         if self._accept(PUNCT, "("):
             if not self._check(PUNCT, ")"):
                 while True:
-                    port_name = self._expect(IDENT).value
-                    module.ports.append(Port(port_name, INOUT))
+                    port_token = self._expect(IDENT)
+                    module.ports.append(
+                        Port(
+                            port_token.value,
+                            INOUT,
+                            line=port_token.line,
+                            column=port_token.column,
+                        )
+                    )
                     if not self._accept(PUNCT, ","):
                         break
             self._expect(PUNCT, ")")
@@ -158,12 +166,14 @@ class Parser:
         discipline: str | None = None
         if self._check(KEYWORD) and self._peek().value in ("electrical", "voltage", "current", "wire"):
             discipline = self._advance().value
-        names = self._parse_identifier_list()
+        tokens = self._parse_identifier_tokens()
         self._expect(PUNCT, ";")
-        for name in names:
+        for token in tokens:
+            name = token.value
+            self._record_position(module, token)
             port = module.port(name)
             if port is None:
-                port = Port(name)
+                port = Port(name, line=token.line, column=token.column)
                 module.ports.append(port)
             port.direction = direction
             if discipline is not None:
@@ -172,9 +182,11 @@ class Parser:
 
     def _parse_discipline_declaration(self, module: VamsModule) -> None:
         discipline = self._advance().value
-        names = self._parse_identifier_list()
+        tokens = self._parse_identifier_tokens()
         self._expect(PUNCT, ";")
-        for name in names:
+        for token in tokens:
+            name = token.value
+            self._record_position(module, token)
             module.disciplines[name] = discipline
             port = module.port(name)
             if port is not None:
@@ -182,27 +194,40 @@ class Parser:
 
     def _parse_ground_declaration(self, module: VamsModule) -> None:
         self._advance()
-        names = self._parse_identifier_list()
+        tokens = self._parse_identifier_tokens()
         self._expect(PUNCT, ";")
-        module.grounds.update(names)
+        for token in tokens:
+            self._record_position(module, token)
+            module.grounds.add(token.value)
 
     def _parse_parameter_declaration(self, module: VamsModule) -> None:
         self._advance()
         kind = "real"
         if self._check(KEYWORD) and self._peek().value in ("real", "integer"):
             kind = self._advance().value
-        name = self._expect(IDENT).value
+        name_token = self._expect(IDENT)
         self._expect(OPERATOR, "=")
         value_expr = self.parse_expression()
         self._expect(PUNCT, ";")
         value = _fold_constant(value_expr, module)
-        module.parameters.append(Parameter(name, value, kind))
+        module.parameters.append(
+            Parameter(
+                name_token.value,
+                value,
+                kind,
+                line=name_token.line,
+                column=name_token.column,
+                uses=tuple(sorted(value_expr.variables())),
+            )
+        )
 
     def _parse_variable_declaration(self, module: VamsModule) -> None:
         self._advance()
-        names = self._parse_identifier_list()
+        tokens = self._parse_identifier_tokens()
         self._expect(PUNCT, ";")
-        module.real_variables.extend(names)
+        for token in tokens:
+            self._record_position(module, token)
+            module.real_variables.append(token.value)
 
     def _parse_branch_declaration(self, module: VamsModule) -> None:
         self._advance()
@@ -211,16 +236,34 @@ class Parser:
         self._expect(PUNCT, ",")
         negative = self._expect(IDENT).value
         self._expect(PUNCT, ")")
-        names = self._parse_identifier_list()
+        tokens = self._parse_identifier_tokens()
         self._expect(PUNCT, ";")
-        for name in names:
-            module.branches.append(BranchDeclaration(name, positive, negative))
+        for token in tokens:
+            module.branches.append(
+                BranchDeclaration(
+                    token.value,
+                    positive,
+                    negative,
+                    line=token.line,
+                    column=token.column,
+                )
+            )
 
     def _parse_identifier_list(self) -> list[str]:
-        names = [self._expect(IDENT).value]
+        return [token.value for token in self._parse_identifier_tokens()]
+
+    def _parse_identifier_tokens(self) -> list[Token]:
+        tokens = [self._expect(IDENT)]
         while self._accept(PUNCT, ","):
-            names.append(self._expect(IDENT).value)
-        return names
+            tokens.append(self._expect(IDENT))
+        return tokens
+
+    @staticmethod
+    def _record_position(module: VamsModule, token: Token) -> None:
+        """Remember where a name was first declared (for lint diagnostics)."""
+        module.declaration_positions.setdefault(
+            token.value, (token.line, token.column)
+        )
 
     # -- analog block ------------------------------------------------------------------
     def _parse_analog_block(self, module: VamsModule) -> None:
@@ -240,7 +283,8 @@ class Parser:
                 block.statements.append(self._parse_statement())
             self._expect(KEYWORD, "end")
             return block
-        if self._accept(KEYWORD, "if"):
+        if_token = self._accept(KEYWORD, "if")
+        if if_token is not None:
             self._expect(PUNCT, "(")
             condition = self.parse_expression()
             self._expect(PUNCT, ")")
@@ -249,7 +293,13 @@ class Parser:
             if self._accept(KEYWORD, "else"):
                 else_statement = self._parse_statement()
                 else_statements = _as_statement_list(else_statement)
-            return IfStatement(condition, _as_statement_list(then_statement), else_statements)
+            return IfStatement(
+                condition,
+                _as_statement_list(then_statement),
+                else_statements,
+                line=if_token.line,
+                column=if_token.column,
+            )
         return self._parse_simple_statement()
 
     def _parse_simple_statement(self):
@@ -259,7 +309,9 @@ class Parser:
             if self._accept(OPERATOR, "<+"):
                 expression = self.parse_expression()
                 self._expect(PUNCT, ";")
-                return Contribution(access, expression)
+                return Contribution(
+                    access, expression, line=access.line, column=access.column
+                )
             raise self._error("expected the contribution operator '<+'")
         if token.kind == IDENT and self._peek(1).value == "(":
             # An identifier called like an access function but spelled wrong
@@ -272,15 +324,21 @@ class Parser:
                 token.column,
             )
         if token.kind == IDENT and self._peek(1).value == "=":
-            name = self._advance().value
+            name_token = self._advance()
             self._expect(OPERATOR, "=")
             expression = self.parse_expression()
             self._expect(PUNCT, ";")
-            return Assignment(name, expression)
+            return Assignment(
+                name_token.value,
+                expression,
+                line=name_token.line,
+                column=name_token.column,
+            )
         raise self._error(f"unexpected token {token.value!r} in analog statement")
 
     def _parse_access_reference(self) -> AccessRef:
-        kind = self._expect(IDENT).value
+        kind_token = self._expect(IDENT)
+        kind = kind_token.value
         self._expect(PUNCT, "(")
         first = self._expect(IDENT).value
         second: str | None = None
@@ -292,8 +350,20 @@ class Parser:
             # ground) or a declared branch; the distinction is resolved by the
             # netlist extraction, which knows the declarations.  The raw name
             # is kept in ``positive`` and, redundantly, in ``branch``.
-            return AccessRef(kind, positive=first, branch=first)
-        return AccessRef(kind, positive=first, negative=second)
+            return AccessRef(
+                kind,
+                positive=first,
+                branch=first,
+                line=kind_token.line,
+                column=kind_token.column,
+            )
+        return AccessRef(
+            kind,
+            positive=first,
+            negative=second,
+            line=kind_token.line,
+            column=kind_token.column,
+        )
 
     # -- expressions -----------------------------------------------------------------
     def parse_expression(self) -> Expr:
@@ -391,7 +461,7 @@ class Parser:
         if name in _ACCESS_FUNCTIONS:
             self._position -= 1
             access = self._parse_access_reference()
-            return Variable(access.canonical_name())
+            return Access(access.canonical_name(), access.kind)
         self._expect(PUNCT, "(")
         arguments: list[Expr] = []
         if not self._check(PUNCT, ")"):

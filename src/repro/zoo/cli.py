@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..core.codegen import resolve_backend
 from ..obs import ProgressReporter
 from .catalog import zoo_entries
-from .generate import GeneratorConfig, generate_netlist
+from .generate import BREAKABLE_RULES, GeneratorConfig, generate_netlist, plant_defect
 from .oracle import (
     ENGINE_RUNNERS,
     OracleConfig,
@@ -97,6 +97,56 @@ def run_campaign(
     return report
 
 
+def run_recall_campaign(
+    seed: int,
+    count: int,
+    rules: "tuple[str, ...]",
+    generator: "GeneratorConfig | None" = None,
+    progress: "ProgressReporter | None" = None,
+    log=None,
+) -> CampaignReport:
+    """Fuzz the *linter* instead of the engines: plant known defects.
+
+    For every generated netlist this first asserts the clean netlist lints
+    clean (the by-construction guarantee), then plants one defect per
+    requested rule via :func:`plant_defect` and demands ``repro-lint``
+    reports exactly that rule — a recall measurement over the linter.
+    """
+    from ..lint import lint_netlist
+
+    report = CampaignReport(seed=seed)
+
+    def record(name: str, failure: "str | None") -> None:
+        report.checked += 1
+        if progress is not None:
+            progress.advance()
+        if failure is None:
+            return
+        report.failures.append((name, failure))
+        if log is not None:
+            print(f"FAIL {name}: {failure}", file=log)
+
+    for index in range(count):
+        base = generate_netlist(seed, index, generator)
+        clean = lint_netlist(base)
+        record(
+            base.name,
+            None
+            if clean.ok
+            else f"generated netlist is not lint-clean: {clean.summary()}",
+        )
+        for rule in rules:
+            broken = plant_defect(base, rule)
+            lint = lint_netlist(broken)
+            record(
+                broken.name,
+                None
+                if rule in lint.rules()
+                else f"lint missed the planted '{rule}' defect",
+            )
+    return report
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fuzz",
@@ -151,6 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(see repro-report)",
     )
     parser.add_argument(
+        "--break",
+        dest="break_rules",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help=(
+            "lint-recall mode: plant one defect of RULE per generated "
+            "netlist and require repro-lint to report it (repeatable; "
+            f"'all' = {', '.join(BREAKABLE_RULES)}); skips the engine oracle"
+        ),
+    )
+    parser.add_argument(
         "--engines",
         default=None,
         help=(
@@ -193,6 +255,42 @@ def main(argv: "list[str] | None" = None) -> int:
         print("repro-fuzz: --count must be at least 1", file=sys.stderr)
         return 2
     count = max(args.count, SMOKE_COUNT) if args.smoke else args.count
+
+    if args.break_rules:
+        rules: list[str] = []
+        for raw in args.break_rules:
+            expanded = BREAKABLE_RULES if raw == "all" else (raw,)
+            for rule in expanded:
+                if rule not in BREAKABLE_RULES:
+                    print(
+                        f"repro-fuzz: unknown --break rule {rule!r}; "
+                        f"available: {', '.join(BREAKABLE_RULES)} (or 'all')",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if rule not in rules:
+                    rules.append(rule)
+        progress = ProgressReporter(count * (1 + len(rules)), "netlists")
+        recall = run_recall_campaign(
+            args.seed, count, tuple(rules), progress=progress, log=sys.stderr
+        )
+        progress.finish()
+        if recall.ok:
+            print(
+                f"repro-fuzz: linter recalled every planted defect across "
+                f"{recall.checked} checks ({count} netlists x "
+                f"{len(rules)} rules, seed {recall.seed})"
+            )
+            return 0
+        print(
+            f"repro-fuzz: {len(recall.failures)}/{recall.checked} recall "
+            f"checks FAILED (seed {recall.seed}):",
+            file=sys.stderr,
+        )
+        for name, summary in recall.failures:
+            print(f"  {name}: {summary}", file=sys.stderr)
+        return 1
+
     corpus_dir = None if args.corpus_dir.lower() == "none" else args.corpus_dir
     engines = _resolve_engines(args.engines)
     if engines is not None:

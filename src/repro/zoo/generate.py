@@ -403,6 +403,59 @@ def generate_cases(
         yield generate_netlist(seed, index, config)
 
 
+# -- defect planting -----------------------------------------------------------------
+#: Lint rules plant_defect() knows how to trigger (the linter-recall surface).
+BREAKABLE_RULES = (
+    "floating-node",
+    "vsource-loop",
+    "nonphysical-value",
+    "dead-arm",
+    "zero-value",
+)
+
+
+def plant_defect(netlist: ZooNetlist, rule: str) -> ZooNetlist:
+    """Return a copy of ``netlist`` with exactly one defect for ``rule`` planted.
+
+    Generated netlists are lint-clean by construction, which makes the
+    linter's *recall* untestable from the zoo alone; this hook deliberately
+    breaks one invariant so ``repro-lint`` can be fuzz-tested against known
+    defects (``repro-fuzz --break <rule>``).  The planted netlists are for
+    linting only — they are not meant to simulate.
+    """
+    if rule not in BREAKABLE_RULES:
+        raise ValueError(
+            f"unknown breakable rule {rule!r} (choose from {', '.join(BREAKABLE_RULES)})"
+        )
+    anchor = netlist.output
+    if rule == "floating-node":
+        # A branch to a node nothing else touches: degree-one, not a port.
+        extra = ZooComponent(
+            RESISTOR, "r_broken", anchor, "dangle", 3300.0, access=PAIR, style="flow"
+        )
+    elif rule == "vsource-loop":
+        # Parallels the implicit input-drive source on the first input port.
+        extra = ZooComponent(
+            VSOURCE, "v_broken", netlist.inputs[0], "gnd", 1.0, access=GROUND
+        )
+    elif rule == "nonphysical-value":
+        extra = ZooComponent(
+            RESISTOR, "r_broken", anchor, "gnd", -3300.0, access=GROUND
+        )
+    elif rule == "dead-arm":
+        extra = ZooComponent(
+            RESISTOR, "r_broken", anchor, "gnd", 3300.0, access=GROUND, style="deadif"
+        )
+    else:  # zero-value
+        # A zero scale factor collapses the component law to a short.
+        extra = ZooComponent(RESISTOR, "r_broken", anchor, "gnd", 0.0, access=GROUND)
+    return replace(
+        netlist,
+        name=f"{netlist.name}_broken_{rule.replace('-', '_')}",
+        components=(*netlist.components, extra),
+    )
+
+
 # -- rendering -----------------------------------------------------------------------
 def _render_value(value: float, si: bool) -> str:
     """Render a literal, optionally with an engineering SI suffix."""
@@ -454,6 +507,15 @@ def _contribution(component: ZooComponent) -> list[str]:
     if kind == RESISTOR:
         if style == "flow":
             return [f"{flow} <+ {potential} / {value};"]
+        if style == "deadif":
+            # Only plant_defect() emits this: a literal-constant condition
+            # whose first arm can never execute (the 'dead-arm' lint rule).
+            return [
+                "if (1 < 0)",
+                f"  {potential} <+ 2 * {value} * {flow};",
+                "else",
+                f"  {potential} <+ {value} * {flow};",
+            ]
         return [f"{potential} <+ {value} * {flow};"]
     if kind == CAPACITOR:
         if style == "idt":

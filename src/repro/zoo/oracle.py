@@ -54,9 +54,11 @@ from .generate import (
     round_component,
 )
 
-#: Stages a verdict can fail at: the frontend (lex/parse/build/abstract), a
-#: single engine raising, or the engines disagreeing beyond tolerance.
+#: Stages a verdict can fail at: the frontend (lex/parse/build/abstract), the
+#: pre-execution lint of the source and abstracted model, a single engine
+#: raising, or the engines disagreeing beyond tolerance.
 FRONTEND = "frontend"
+LINT = "lint"
 ENGINE = "engine"
 AGREEMENT = "agreement"
 
@@ -204,6 +206,22 @@ def check_source(
         return OracleVerdict(
             ok=False, stage=FRONTEND, detail=f"{type(exc).__name__}: {exc}"
         )
+
+    # Pre-execution static analysis: a netlist or abstracted model that lints
+    # fatal must not reach the engines — any runtime-clean result would then
+    # be a lint/runtime disagreement worth a reproducer.
+    from ..lint import lint_model, lint_module as lint_vams_module
+
+    lint = lint_vams_module(module, file=f"<{module.name}>")
+    lint.extend(lint_model(model, file=f"<{module.name}:model>"))
+    if not lint.ok:
+        first = lint.errors()[0]
+        return OracleVerdict(
+            ok=False,
+            stage=LINT,
+            detail=f"{first.rule}: {first.message}",
+        )
+
     stimuli = _sine_stimuli(model.inputs)
     quantity = model.outputs[0]
 

@@ -2,9 +2,10 @@
 
 The layer's guarantees: campaigns expand deterministically (golden runs
 first), execute through the platform sweep fan-out with identical outcomes
-serial or multiprocess, classify *every* fault into one of the four verdicts,
+serial or multiprocess, classify *every* fault into one of the verdicts,
 compare against golden runs that are bit-identical to plain platform runs,
-and render coverage/collapse reports.
+and render coverage/collapse reports.  (The fifth verdict, ``lint-rejected``,
+needs the opt-in static-analysis gate and is exercised in test_lint.py.)
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.errors import FaultError
 from repro.fault import (
     VERDICT_CRASH,
     VERDICT_DETECTED,
+    VERDICT_LINT,
     VERDICT_SILENT,
     VERDICT_TRACE,
     VERDICTS,
@@ -140,13 +142,15 @@ class TestFaultCampaignExecution:
         assert all(entry.verdict in VERDICTS for entry in verdicts)
         assert sum(result.counts().values()) == len(verdicts)
 
-    def test_all_four_verdict_classes_occur(self, result):
+    def test_all_four_execution_verdict_classes_occur(self, result):
         by_name = {entry.run.fault.name: entry.verdict for entry in result.verdicts()}
         assert by_name["drift:r1x1.000000001"] == VERDICT_SILENT
         assert by_name["drift:r1x2.0"] == VERDICT_TRACE
         assert by_name["adc-stuck1:bit9"] == VERDICT_DETECTED
         assert by_name[f"code-corrupt:{find_poll_loop_address():#x}"] == VERDICT_CRASH
-        assert set(by_name.values()) == set(VERDICTS)
+        # lint-rejected only occurs with the lint=True strict gate enabled
+        # (see test_lint.py); every execution verdict occurs here.
+        assert set(by_name.values()) == set(VERDICTS) - {VERDICT_LINT}
 
     def test_crash_detail_names_the_cpu_fault(self, result):
         crash = [e for e in result.verdicts() if e.verdict == VERDICT_CRASH]
